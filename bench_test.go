@@ -1,0 +1,287 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/authindex"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/games"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/swp"
+	"repro/internal/workload"
+)
+
+// One benchmark per experiment of DESIGN.md §3. Each iteration regenerates
+// the experiment at reduced size; run cmd/experiments for the full tables.
+
+func BenchmarkE1SalaryDistinguisher(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE1(40, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2HospitalInference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE2(200, 4, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3JohnAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE3(200, 4, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4Theorem21(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE4(30, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5FalsePositives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE5(20000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6Performance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE6([]int{500}, 10, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7Homomorphism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE7(2, 5, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8AuthIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE8([]int{1000}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9FrequencyAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE9(300, 3, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10VarlenAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE10(200, 30, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11LeakageAccumulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE11(300, 4, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12Communication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunE12(300, 10, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks for the hot paths underlying the experiments.
+
+func benchScheme(b *testing.B) *core.PH {
+	b.Helper()
+	key, err := crypto.RandomKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.New(key, workload.EmployeeSchema(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchTable(b *testing.B, n int) *relation.Table {
+	b.Helper()
+	t, err := workload.Employees(n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+func BenchmarkEncryptTable1k(b *testing.B) {
+	s := benchScheme(b)
+	t := benchTable(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EncryptTable(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(t.Len()), "tuples/op")
+}
+
+func BenchmarkTrapdoor(b *testing.B) {
+	s := benchScheme(b)
+	q := relation.Eq{Column: "dept", Value: relation.String("HR")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EncryptQuery(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerSearch1k(b *testing.B) {
+	s := benchScheme(b)
+	t := benchTable(b, 1000)
+	ct, err := s.EncryptTable(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eq, err := s.EncryptQuery(relation.Eq{Column: "dept", Value: relation.String("HR")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ph.Apply(ct, eq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecryptResult(b *testing.B) {
+	s := benchScheme(b)
+	t := benchTable(b, 1000)
+	ct, err := s.EncryptTable(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := relation.Eq{Column: "dept", Value: relation.String("HR")}
+	eq, err := s.EncryptQuery(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := ph.Apply(ct, eq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.DecryptResult(q, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSWPEncryptWord(b *testing.B) {
+	key, _ := crypto.RandomKey()
+	s, err := swp.New(key, swp.Params{WordLen: 11, ChecksumLen: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	word := []byte("MontgomeryN")
+	docID := []byte("doc")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EncryptWord(docID, uint64(i), word); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSWPMatch(b *testing.B) {
+	key, _ := crypto.RandomKey()
+	p := swp.Params{WordLen: 11, ChecksumLen: 2}
+	s, err := swp.New(key, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	word := []byte("MontgomeryN")
+	cw, err := s.EncryptWord([]byte("doc"), 0, word)
+	if err != nil {
+		b.Fatal(err)
+	}
+	td, err := s.NewTrapdoor(word)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !swp.Match(p, cw, td) {
+			b.Fatal("match failed")
+		}
+	}
+}
+
+func BenchmarkMerkleBuild1k(b *testing.B) {
+	s := benchScheme(b)
+	ct, err := s.EncryptTable(benchTable(b, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		authindex.Build(ct)
+	}
+}
+
+func BenchmarkMerkleVerify(b *testing.B) {
+	s := benchScheme(b)
+	ct, err := s.EncryptTable(benchTable(b, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := authindex.Build(ct)
+	root := tree.Root()
+	proofs, err := tree.Prove([]int{500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := authindex.Verify(root, 1000, ct.Tuples[500], proofs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDef21GameTrial(b *testing.B) {
+	g := games.Def21{Factory: bench.MustFactory(core.SchemeID), Q: 0, Mode: games.Passive}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Run(attacks.SalaryPair{}, 1, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

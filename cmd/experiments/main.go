@@ -1,0 +1,100 @@
+// Command experiments regenerates every evaluation artifact of the
+// reproduction (experiments E1–E8 of DESIGN.md) and prints the result
+// tables, optionally as markdown for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-exp e1,e2,...] [-trials N] [-patients N] [-markdown] [-quick]
+//
+// With no -exp flag all experiments run in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e12); empty = all")
+		outPath  = flag.String("o", "", "also write the output to this file")
+		trials   = flag.Int("trials", 200, "game trials per cell (E1, E4)")
+		patients = flag.Int("patients", 400, "patients per hospital table (E2, E3)")
+		infTr    = flag.Int("inference-trials", 50, "trials for the inference attacks (E2, E3)")
+		slots    = flag.Int("slots", 200000, "word slots probed per checksum width (E5)")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+		quick    = flag.Bool("quick", false, "small parameters for a fast smoke run")
+		seed     = flag.Int64("seed", 1, "deterministic experiment seed")
+	)
+	flag.Parse()
+
+	if *quick {
+		*trials = 40
+		*patients = 200
+		*infTr = 10
+		*slots = 20000
+	}
+	sizes := []int{100, 1000, 10000}
+	e8sizes := []int{100, 1000, 10000, 100000}
+	if *quick {
+		sizes = []int{100, 1000}
+		e8sizes = []int{100, 1000}
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToLower(strings.TrimSpace(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[strings.ToLower(id)] }
+
+	type runner struct {
+		id  string
+		run func() (*bench.Table, error)
+	}
+	runners := []runner{
+		{"e1", func() (*bench.Table, error) { return bench.RunE1(*trials, *seed) }},
+		{"e2", func() (*bench.Table, error) { return bench.RunE2(*patients, *infTr, *seed) }},
+		{"e3", func() (*bench.Table, error) { return bench.RunE3(*patients, *infTr, *seed) }},
+		{"e4", func() (*bench.Table, error) { return bench.RunE4(*trials, *seed) }},
+		{"e5", func() (*bench.Table, error) { return bench.RunE5(*slots, *seed) }},
+		{"e6", func() (*bench.Table, error) { return bench.RunE6(sizes, 20, *seed) }},
+		{"e7", func() (*bench.Table, error) { return bench.RunE7(10, 10, *seed) }},
+		{"e8", func() (*bench.Table, error) { return bench.RunE8(e8sizes, *seed) }},
+		{"e9", func() (*bench.Table, error) { return bench.RunE9(*patients, *infTr, *seed) }},
+		{"e10", func() (*bench.Table, error) { return bench.RunE10(*patients, *trials, *seed) }},
+		{"e11", func() (*bench.Table, error) { return bench.RunE11(*patients, *infTr, *seed) }},
+		{"e12", func() (*bench.Table, error) { return bench.RunE12(*patients, 20, *seed) }},
+	}
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	for _, r := range runners {
+		if !selected(r.id) {
+			continue
+		}
+		table, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			table.Markdown(out)
+		} else {
+			table.Fprint(out)
+		}
+	}
+}

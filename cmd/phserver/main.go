@@ -1,0 +1,80 @@
+// Command phserver runs Eve: the untrusted database service provider. It
+// stores encrypted tables and evaluates encrypted queries without ever
+// holding keys.
+//
+// Usage:
+//
+//	phserver [-addr :7632] [-log /path/to/store.log]
+//
+// With -log the store is durable: mutations are appended to the log and
+// replayed on restart (torn tails from crashes are truncated). Without it
+// the store is in-memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/server"
+	"repro/internal/storage"
+
+	// Register the key-free evaluators for every scheme this server can
+	// evaluate queries for (database/sql-driver style).
+	_ "repro/internal/core"
+	_ "repro/internal/schemes/bucket"
+	_ "repro/internal/schemes/damiani"
+	_ "repro/internal/schemes/detph"
+	_ "repro/internal/schemes/gohph"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7632", "listen address")
+		logPath = flag.String("log", "", "append-only persistence log (empty = in-memory)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "phserver: ", log.LstdFlags)
+
+	var store *storage.Store
+	var err error
+	if *logPath != "" {
+		store, err = storage.Open(*logPath)
+		if err != nil {
+			logger.Fatalf("opening store: %v", err)
+		}
+		defer store.Close()
+		logger.Printf("durable store at %s", *logPath)
+	} else {
+		store = storage.NewMemory()
+		logger.Print("in-memory store (no -log given)")
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	srv := server.New(store, logger)
+	logger.Printf("listening on %s", l.Addr())
+	for _, info := range store.List() {
+		logger.Printf("replayed table %q (%s, %d tuples)", info.Name, info.SchemeID, info.Tuples)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintln(os.Stderr)
+		logger.Printf("received %s, shutting down", s)
+		srv.Close()
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+	logger.Print("bye")
+}

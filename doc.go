@@ -1,0 +1,15 @@
+// Package repro reproduces "Provable Security for Outsourcing Database
+// Operations" (Evdokimov, Fischmann, Günther — ICDE 2006) as a complete Go
+// system: the database-privacy-homomorphism framework (internal/ph), the
+// paper's SWP-based construction preserving exact selects (internal/core),
+// the searchable-encryption substrate (internal/swp), the comparator
+// schemes it attacks (internal/schemes/...), the security games and
+// adversaries of its definitions and theorem (internal/games,
+// internal/attacks), and a full client/server outsourcing stack
+// (internal/client, internal/server).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// root-level benchmarks (bench_test.go) regenerate every evaluation
+// artifact; cmd/experiments prints them as tables.
+package repro

@@ -1,0 +1,156 @@
+package attacks
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/games"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// AccumulationReport measures how Eve's knowledge grows with the query
+// budget q of Definition 2.1: the passive §2 attack, generalised from "the
+// four queries" to a random application workload observed over time. For
+// each q, Alex issues q queries drawn from a realistic mix; Eve identifies
+// each by result size and maintains estimates of every hospital's fatality
+// ratio, falling back to the public marginal where she has not yet seen
+// the needed queries.
+type AccumulationReport struct {
+	// Q is the observed query budget.
+	Q int
+	// MeanAbsError is Eve's average per-hospital estimation error.
+	MeanAbsError float64
+	// BlindError is the error of always answering the public marginal.
+	BlindError float64
+	// Coverage is the fraction of (hospital, fatal) query pairs Eve has
+	// observed and identified, averaged over trials.
+	Coverage float64
+}
+
+// queryPool is the application's query mix: per-hospital selects and the
+// two outcome selects.
+func queryPool() []relation.Eq {
+	return []relation.Eq{
+		{Column: "hospital", Value: relation.Int(1)},
+		{Column: "hospital", Value: relation.Int(2)},
+		{Column: "hospital", Value: relation.Int(3)},
+		{Column: "outcome", Value: relation.String(workload.OutcomeFatal)},
+		{Column: "outcome", Value: relation.String(workload.OutcomeHealthy)},
+	}
+}
+
+// LeakageAccumulation runs the generalised passive attack for each query
+// budget in qs and reports one AccumulationReport per budget.
+func LeakageAccumulation(factory games.SchemeFactory, patients, trials int, qs []int, seed int64) ([]AccumulationReport, error) {
+	if patients <= 0 || trials <= 0 {
+		return nil, fmt.Errorf("attacks: accumulation needs positive patients (%d) and trials (%d)", patients, trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reports := make([]AccumulationReport, 0, len(qs))
+	for _, q := range qs {
+		var sumErr, sumBlind, sumCov float64
+		for trial := 0; trial < trials; trial++ {
+			// Hidden rates centred on the public marginal 0.08, so Eve's
+			// size fingerprinting stays reliable (the paper grants her
+			// "good estimates" of the distributions) while the
+			// per-hospital values remain secrets worth stealing.
+			rates := []float64{
+				0.03 + 0.10*rng.Float64(),
+				0.03 + 0.10*rng.Float64(),
+				0.03 + 0.10*rng.Float64(),
+			}
+			table, err := workload.Hospital(workload.HospitalConfig{
+				Patients:            patients,
+				FatalRateByHospital: rates,
+			}, rng.Int63())
+			if err != nil {
+				return nil, err
+			}
+			scheme, err := factory(table.Schema())
+			if err != nil {
+				return nil, err
+			}
+			ct, err := scheme.EncryptTable(table)
+			if err != nil {
+				return nil, err
+			}
+			// Alex issues q queries drawn uniformly from the pool; Eve
+			// observes only position sets.
+			pool := queryPool()
+			type obs struct {
+				positions []int
+			}
+			seen := make(map[int]obs) // pool index (as identified by Eve) -> positions
+			for issued := 0; issued < q; issued++ {
+				qi := rng.Intn(len(pool))
+				eq, err := scheme.EncryptQuery(pool[qi])
+				if err != nil {
+					return nil, err
+				}
+				res, err := ph.Apply(ct, eq)
+				if err != nil {
+					return nil, err
+				}
+				// Eve identifies the query by its result size against the
+				// public marginals.
+				id := identifyQuery(len(res.Positions), patients)
+				if id >= 0 {
+					seen[id] = obs{positions: res.Positions}
+				}
+			}
+			// Eve's estimates.
+			fatal, haveFatal := seen[3]
+			var trialErr float64
+			covered := 0
+			for h := 0; h < 3; h++ {
+				truth, err := trueHospitalRate(table, int64(h+1))
+				if err != nil {
+					return nil, err
+				}
+				est := workload.OutcomeFatalRate // fallback: public marginal
+				if inH, ok := seen[h]; ok && haveFatal && len(inH.positions) > 0 {
+					est = float64(intersectCount(inH.positions, fatal.positions)) / float64(len(inH.positions))
+					covered++
+				}
+				trialErr += math.Abs(est - truth)
+				sumBlind += math.Abs(workload.OutcomeFatalRate - truth)
+			}
+			sumErr += trialErr / 3
+			sumCov += float64(covered) / 3
+		}
+		reports = append(reports, AccumulationReport{
+			Q:            q,
+			MeanAbsError: sumErr / float64(trials),
+			BlindError:   sumBlind / float64(3*trials),
+			Coverage:     sumCov / float64(trials),
+		})
+	}
+	return reports, nil
+}
+
+// identifyQuery maps an observed result size to the most plausible pool
+// query using the public marginals; -1 if nothing is close (within 35%
+// relative distance).
+func identifyQuery(size, patients int) int {
+	expected := []float64{
+		workload.HospitalFlows[0] * float64(patients),
+		workload.HospitalFlows[1] * float64(patients),
+		workload.HospitalFlows[2] * float64(patients),
+		workload.OutcomeFatalRate * float64(patients),
+		(1 - workload.OutcomeFatalRate) * float64(patients),
+	}
+	best, bestDist := -1, math.Inf(1)
+	for i, e := range expected {
+		d := math.Abs(float64(size) - e)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if bestDist > 0.35*expected[best] {
+		return -1
+	}
+	return best
+}

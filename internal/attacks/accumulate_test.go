@@ -1,0 +1,59 @@
+package attacks
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestLeakageAccumulationMonotoneInExpectation(t *testing.T) {
+	reports, err := LeakageAccumulation(factory(core.SchemeID), 600, 8, []int{0, 8, 32}, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	q0, q8, q32 := reports[0], reports[1], reports[2]
+	if q0.Coverage != 0 {
+		t.Fatalf("q=0 coverage %v, want 0", q0.Coverage)
+	}
+	if q0.MeanAbsError != q0.BlindError {
+		t.Fatalf("q=0 error %v should equal blind %v", q0.MeanAbsError, q0.BlindError)
+	}
+	if q8.Coverage <= q0.Coverage {
+		t.Fatalf("coverage did not grow: q0=%v q8=%v", q0.Coverage, q8.Coverage)
+	}
+	if q32.MeanAbsError >= q0.MeanAbsError {
+		t.Fatalf("error did not shrink with budget: q0=%v q32=%v", q0.MeanAbsError, q32.MeanAbsError)
+	}
+}
+
+func TestLeakageAccumulationValidation(t *testing.T) {
+	if _, err := LeakageAccumulation(factory(core.SchemeID), 0, 5, []int{1}, 1); err == nil {
+		t.Fatal("zero patients accepted")
+	}
+	if _, err := LeakageAccumulation(factory(core.SchemeID), 100, 0, []int{1}, 1); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestIdentifyQuery(t *testing.T) {
+	const n = 1000
+	cases := []struct {
+		size int
+		want int
+	}{
+		{200, 0},  // hospital 1: 0.2n
+		{300, 1},  // hospital 2: 0.3n
+		{500, 2},  // hospital 3: 0.5n
+		{80, 3},   // fatal: 0.08n
+		{920, 4},  // healthy: 0.92n
+		{700, -1}, // nothing plausible nearby
+	}
+	for _, c := range cases {
+		if got := identifyQuery(c.size, n); got != c.want {
+			t.Errorf("identifyQuery(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package attacks
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/games"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// HospitalReport aggregates the passive hospital-inference attack of §2 over
+// many independent trials. The attack is not a distinguishing game but a
+// direct privacy breach: from q = 4 observed encrypted queries and their
+// result sets, Eve — knowing only the schema, the number of hospitals, the
+// patient-flow distribution and the overall outcome ratio — reconstructs
+// the *per-hospital* fatality ratio of hospital 1, a statistic the
+// encryption was supposed to hide.
+type HospitalReport struct {
+	// Trials is the number of independent runs.
+	Trials int
+	// QueryIDRate is the fraction of trials in which Eve correctly
+	// identified all four queries from result sizes alone.
+	QueryIDRate float64
+	// MeanTrueRate is the average true fatality ratio of hospital 1.
+	MeanTrueRate float64
+	// MeanEstRate is the average of Eve's estimates.
+	MeanEstRate float64
+	// MeanAbsError is the average |estimate − truth|.
+	MeanAbsError float64
+	// BlindError is the error Eve would make without the attack, i.e.
+	// using the public overall ratio as her estimate — the baseline the
+	// attack must beat to demonstrate leakage.
+	BlindError float64
+}
+
+// HospitalQueries returns the four queries of the paper's example, in the
+// fixed order hospital=1, hospital=2, hospital=3, outcome='fatal'.
+func HospitalQueries() []relation.Eq {
+	return []relation.Eq{
+		{Column: "hospital", Value: relation.Int(1)},
+		{Column: "hospital", Value: relation.Int(2)},
+		{Column: "hospital", Value: relation.Int(3)},
+		{Column: "outcome", Value: relation.String(workload.OutcomeFatal)},
+	}
+}
+
+// HospitalInference runs the passive attack: per trial it generates a
+// patient table with hidden per-hospital fatality rates, encrypts it with a
+// fresh scheme instance, lets Alex issue the four queries in a random
+// order, and gives Eve only the encrypted queries and their result-position
+// sets. Eve identifies the queries by comparing result sizes with the
+// public marginals and estimates hospital 1's fatality ratio by
+// intersecting result sets.
+func HospitalInference(factory games.SchemeFactory, patients, trials int, seed int64) (*HospitalReport, error) {
+	if patients <= 0 || trials <= 0 {
+		return nil, fmt.Errorf("attacks: hospital inference needs positive patients (%d) and trials (%d)", patients, trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rep := &HospitalReport{Trials: trials}
+	var idHits int
+	var sumTrue, sumEst, sumErr, sumBlind float64
+	for trial := 0; trial < trials; trial++ {
+		// Hidden per-hospital rates: distinct enough to be interesting,
+		// averaging near the public 0.08 marginal.
+		rates := []float64{
+			0.02 + 0.18*rng.Float64(),
+			0.02 + 0.18*rng.Float64(),
+			0.02 + 0.18*rng.Float64(),
+		}
+		table, err := workload.Hospital(workload.HospitalConfig{
+			Patients:            patients,
+			FatalRateByHospital: rates,
+		}, rng.Int63())
+		if err != nil {
+			return nil, err
+		}
+		truth, err := trueHospitalRate(table, 1)
+		if err != nil {
+			return nil, err
+		}
+		scheme, err := factory(table.Schema())
+		if err != nil {
+			return nil, err
+		}
+		ct, err := scheme.EncryptTable(table)
+		if err != nil {
+			return nil, err
+		}
+		// Alex issues the four queries in random order; Eve sees only
+		// position sets.
+		queries := HospitalQueries()
+		order := rng.Perm(len(queries))
+		observed := make([][]int, len(queries)) // observed[i] = positions of i-th issued query
+		for i, qi := range order {
+			eq, err := scheme.EncryptQuery(queries[qi])
+			if err != nil {
+				return nil, err
+			}
+			res, err := ph.Apply(ct, eq)
+			if err != nil {
+				return nil, err
+			}
+			observed[i] = res.Positions
+		}
+		// Eve: match observed result sizes to expected sizes.
+		expected := []float64{
+			workload.HospitalFlows[0] * float64(patients),
+			workload.HospitalFlows[1] * float64(patients),
+			workload.HospitalFlows[2] * float64(patients),
+			workload.OutcomeFatalRate * float64(patients),
+		}
+		assign := matchBySize(observed, expected)
+		correct := true
+		for i, qi := range order {
+			if assign[i] != qi {
+				correct = false
+				break
+			}
+		}
+		if correct {
+			idHits++
+		}
+		// Eve's estimate: |Q_h1 ∩ Q_fatal| / |Q_h1| using her assignment.
+		var h1, fatal []int
+		for i := range observed {
+			switch assign[i] {
+			case 0:
+				h1 = observed[i]
+			case 3:
+				fatal = observed[i]
+			}
+		}
+		est := 0.0
+		if len(h1) > 0 {
+			est = float64(intersectCount(h1, fatal)) / float64(len(h1))
+		}
+		sumTrue += truth
+		sumEst += est
+		sumErr += math.Abs(est - truth)
+		sumBlind += math.Abs(workload.OutcomeFatalRate - truth)
+	}
+	rep.QueryIDRate = float64(idHits) / float64(trials)
+	rep.MeanTrueRate = sumTrue / float64(trials)
+	rep.MeanEstRate = sumEst / float64(trials)
+	rep.MeanAbsError = sumErr / float64(trials)
+	rep.BlindError = sumBlind / float64(trials)
+	return rep, nil
+}
+
+// trueHospitalRate computes the actual fatality ratio of the given hospital
+// from the plaintext table.
+func trueHospitalRate(t *relation.Table, hospital int64) (float64, error) {
+	inH, err := relation.Select(t, relation.Eq{Column: "hospital", Value: relation.Int(hospital)})
+	if err != nil {
+		return 0, err
+	}
+	if inH.Len() == 0 {
+		return 0, nil
+	}
+	fatal, err := relation.Select(inH, relation.Eq{Column: "outcome", Value: relation.String(workload.OutcomeFatal)})
+	if err != nil {
+		return 0, err
+	}
+	return float64(fatal.Len()) / float64(inH.Len()), nil
+}
+
+// matchBySize assigns each observed result to the expected query whose size
+// it best matches, greedily by ascending size mismatch, without reusing a
+// query. It returns assign[i] = index into expected for observation i.
+func matchBySize(observed [][]int, expected []float64) []int {
+	n := len(observed)
+	assign := make([]int, n)
+	usedObs := make([]bool, n)
+	usedExp := make([]bool, len(expected))
+	for step := 0; step < n; step++ {
+		bestObs, bestExp, bestCost := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if usedObs[i] {
+				continue
+			}
+			for j := range expected {
+				if usedExp[j] {
+					continue
+				}
+				cost := math.Abs(float64(len(observed[i])) - expected[j])
+				if cost < bestCost {
+					bestObs, bestExp, bestCost = i, j, cost
+				}
+			}
+		}
+		assign[bestObs] = bestExp
+		usedObs[bestObs] = true
+		usedExp[bestExp] = true
+	}
+	return assign
+}
+
+// intersectCount counts the common elements of two ascending position
+// slices.
+func intersectCount(a, b []int) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

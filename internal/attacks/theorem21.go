@@ -1,0 +1,96 @@
+package attacks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/games"
+	"repro/internal/ph"
+	"repro/internal/relation"
+)
+
+// Theorem21 is the generic adversary realising the paper's Theorem 2.1:
+// *any* database PH (K, E, Eq, D) is insecure in the sense of Definition 2.1
+// as soon as q > 0 — including the paper's own provably (q = 0) secure
+// construction.
+//
+// Strategy: the two challenge tables hold n tuples each, all sharing the
+// same value in some column — value d in T0, value d' ≠ d in T1. One
+// encrypted query for σ_col:d (observed from Alex in passive mode, or
+// obtained from the oracle in active mode) is evaluated against the
+// challenge ciphertext: by the homomorphic property its result covers
+// (essentially) the whole table iff the challenge encrypts T0. A result
+// covering at least half the table ⇒ guess 0, else guess 1. False positives
+// only help the wrong table reach a handful of hits, never half.
+type Theorem21 struct {
+	// Rows is the challenge table cardinality n (default 32).
+	Rows int
+}
+
+// theorem21Schema is the single-column schema the adversary plays on.
+func theorem21Schema() *relation.Schema {
+	return relation.MustSchema("t",
+		relation.Column{Name: "dept", Type: relation.TypeString, Width: 8},
+	)
+}
+
+// Theorem21Query is the query whose encryption the adversary needs: it
+// selects the value shared by every tuple of T0. Pass it as Alex's issued
+// query when running the passive variant.
+func Theorem21Query() relation.Eq {
+	return relation.Eq{Column: "dept", Value: relation.String("HR")}
+}
+
+// Name implements games.Adversary.
+func (a Theorem21) Name() string { return "theorem-2.1 generic" }
+
+// rows returns the configured cardinality.
+func (a Theorem21) rows() int {
+	if a.Rows > 0 {
+		return a.Rows
+	}
+	return 32
+}
+
+// Choose implements games.Adversary: T0 is all-"HR", T1 is all-"IT".
+func (a Theorem21) Choose(*rand.Rand) (*relation.Table, *relation.Table, error) {
+	s := theorem21Schema()
+	t0 := relation.NewTable(s)
+	t1 := relation.NewTable(s)
+	for i := 0; i < a.rows(); i++ {
+		t0.MustInsert(relation.String("HR"))
+		t1.MustInsert(relation.String("IT"))
+	}
+	return t0, t1, nil
+}
+
+// Guess implements games.Adversary.
+func (a Theorem21) Guess(rng *rand.Rand, tr *games.Transcript) (int, error) {
+	var res *ph.Result
+	switch {
+	case tr.Oracle != nil:
+		// Active mode: ask the oracle for Eq(σ_dept:HR) and evaluate it
+		// ourselves via the homomorphic property.
+		eq, err := tr.Oracle(Theorem21Query())
+		if err != nil {
+			return 0, fmt.Errorf("theorem21: oracle: %w", err)
+		}
+		res, err = tr.Apply(eq)
+		if err != nil {
+			return 0, fmt.Errorf("theorem21: applying oracle query: %w", err)
+		}
+	case len(tr.Issued) > 0:
+		// Passive mode: use the first query Alex issued (the experiment
+		// arranges for it to be σ_dept:HR).
+		res = tr.Issued[0].Result
+	default:
+		// q = 0: Theorem 2.1 does not apply; nothing to go on.
+		return rng.Intn(2), nil
+	}
+	if len(res.Positions)*2 >= len(tr.Ciphertext.Tuples) {
+		return 0, nil
+	}
+	return 1, nil
+}
+
+var _ games.Adversary = Theorem21{}

@@ -1,0 +1,232 @@
+// Package authindex is the repository's extension beyond the paper: a
+// Merkle hash tree over the encrypted tuples of a stored table, letting
+// Alex verify that Eve's query answers consist of genuine, untampered
+// ciphertext tuples.
+//
+// The paper's trust model assumes Eve follows the protocol; its
+// construction protects *confidentiality* only. If Eve turns actively
+// malicious she could substitute or corrupt ciphertexts. With an
+// authenticated index Alex remembers only the 32-byte root of the table he
+// uploaded; every returned tuple comes with an inclusion proof of
+// O(log n) hashes that he checks against the root.
+//
+// Scope note (recorded in DESIGN.md): inclusion proofs authenticate
+// *integrity* of returned tuples, not *completeness* of search results — a
+// malicious server may still withhold matches. Completeness for
+// searchable encryption requires different machinery (e.g. signed result
+// digests per trapdoor) and is out of scope here, as it is for the paper.
+package authindex
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/ph"
+	"repro/internal/wire"
+)
+
+// HashSize is the node hash width.
+const HashSize = sha256.Size
+
+// domain-separation prefixes for leaf and interior hashes (second-preimage
+// hardening, as in RFC 6962).
+const (
+	leafPrefix     = 0x00
+	interiorPrefix = 0x01
+)
+
+// Tree is a Merkle tree over the tuples of one encrypted table, leaves in
+// table order. Odd nodes are promoted unchanged to the next level, so the
+// proof shape is fully determined by (position, leaf count) and proofs can
+// consist of bare sibling hashes.
+type Tree struct {
+	levels [][][]byte // levels[0] = leaf hashes, last level = [root]
+}
+
+// LeafHash hashes one encrypted tuple into its leaf. Every field is
+// length-prefixed so the encoding is injective.
+func LeafHash(t ph.EncryptedTuple) []byte {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	var buf []byte
+	buf = wire.AppendBytes(buf, t.ID)
+	buf = wire.AppendBytes(buf, t.Blob)
+	buf = wire.AppendU32(buf, uint32(len(t.Words)))
+	for _, w := range t.Words {
+		buf = wire.AppendBytes(buf, w)
+	}
+	h.Write(buf)
+	return h.Sum(nil)
+}
+
+// interiorHash combines two child hashes.
+func interiorHash(left, right []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte{interiorPrefix})
+	h.Write(left)
+	h.Write(right)
+	return h.Sum(nil)
+}
+
+// Build constructs the tree for an encrypted table. An empty table yields a
+// tree whose root is the hash of the empty string under the leaf prefix.
+func Build(t *ph.EncryptedTable) *Tree {
+	leaves := make([][]byte, len(t.Tuples))
+	for i, tp := range t.Tuples {
+		leaves[i] = LeafHash(tp)
+	}
+	return fromLeaves(leaves)
+}
+
+// fromLeaves builds the level structure bottom-up.
+func fromLeaves(leaves [][]byte) *Tree {
+	if len(leaves) == 0 {
+		h := sha256.New()
+		h.Write([]byte{leafPrefix})
+		leaves = [][]byte{h.Sum(nil)}
+	}
+	tr := &Tree{levels: [][][]byte{leaves}}
+	cur := leaves
+	for len(cur) > 1 {
+		next := make([][]byte, 0, (len(cur)+1)/2)
+		for i := 0; i < len(cur); i += 2 {
+			if i+1 < len(cur) {
+				next = append(next, interiorHash(cur[i], cur[i+1]))
+			} else {
+				next = append(next, cur[i]) // odd node promoted
+			}
+		}
+		tr.levels = append(tr.levels, next)
+		cur = next
+	}
+	return tr
+}
+
+// Root returns the 32-byte tree root.
+func (t *Tree) Root() []byte {
+	top := t.levels[len(t.levels)-1]
+	return append([]byte(nil), top[0]...)
+}
+
+// LeafCount returns the number of leaves.
+func (t *Tree) LeafCount() int { return len(t.levels[0]) }
+
+// Proof is the inclusion proof for one leaf: the sibling hashes from the
+// leaf level upward. Levels where the node is promoted without sibling
+// contribute no hash; the verifier reconstructs the shape from
+// (Position, leaf count).
+type Proof struct {
+	// Position is the leaf index the proof speaks about.
+	Position int
+	// Siblings are the sibling hashes, bottom-up.
+	Siblings [][]byte
+}
+
+// Prove produces inclusion proofs for the given leaf positions.
+func (t *Tree) Prove(positions []int) ([]Proof, error) {
+	out := make([]Proof, len(positions))
+	for k, pos := range positions {
+		if pos < 0 || pos >= t.LeafCount() {
+			return nil, fmt.Errorf("authindex: position %d out of range [0, %d)", pos, t.LeafCount())
+		}
+		p := Proof{Position: pos}
+		idx := pos
+		for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+			width := len(t.levels[lvl])
+			if idx == width-1 && width%2 == 1 {
+				// promoted: no sibling at this level
+			} else if idx%2 == 0 {
+				p.Siblings = append(p.Siblings, t.levels[lvl][idx+1])
+			} else {
+				p.Siblings = append(p.Siblings, t.levels[lvl][idx-1])
+			}
+			idx /= 2
+		}
+		out[k] = p
+	}
+	return out, nil
+}
+
+// Verify checks that tuple is the leaf at proof.Position of the tree with
+// the given root and leaf count.
+func Verify(root []byte, leafCount int, tuple ph.EncryptedTuple, proof Proof) error {
+	if proof.Position < 0 || proof.Position >= leafCount {
+		return fmt.Errorf("authindex: proof position %d out of range [0, %d)", proof.Position, leafCount)
+	}
+	cur := LeafHash(tuple)
+	idx := proof.Position
+	width := leafCount
+	s := 0
+	for width > 1 {
+		if idx == width-1 && width%2 == 1 {
+			// promoted unchanged
+		} else {
+			if s >= len(proof.Siblings) {
+				return fmt.Errorf("authindex: proof too short (%d siblings)", len(proof.Siblings))
+			}
+			sib := proof.Siblings[s]
+			s++
+			if len(sib) != HashSize {
+				return fmt.Errorf("authindex: sibling hash has %d bytes, want %d", len(sib), HashSize)
+			}
+			if idx%2 == 0 {
+				cur = interiorHash(cur, sib)
+			} else {
+				cur = interiorHash(sib, cur)
+			}
+		}
+		idx /= 2
+		width = (width + 1) / 2
+	}
+	if s != len(proof.Siblings) {
+		return fmt.Errorf("authindex: proof has %d unused siblings", len(proof.Siblings)-s)
+	}
+	if !bytes.Equal(cur, root) {
+		return fmt.Errorf("authindex: root mismatch: computed %x, want %x", cur, root)
+	}
+	return nil
+}
+
+// EncodeProofs serialises proofs for the wire.
+func EncodeProofs(dst []byte, proofs []Proof) []byte {
+	dst = wire.AppendU32(dst, uint32(len(proofs)))
+	for _, p := range proofs {
+		dst = wire.AppendU32(dst, uint32(p.Position))
+		dst = wire.AppendU32(dst, uint32(len(p.Siblings)))
+		for _, s := range p.Siblings {
+			dst = wire.AppendBytes(dst, s)
+		}
+	}
+	return dst
+}
+
+// DecodeProofs parses proofs from a wire buffer.
+func DecodeProofs(r *wire.Buffer) ([]Proof, error) {
+	n, err := r.U32()
+	if err != nil {
+		return nil, fmt.Errorf("authindex: proof count: %w", err)
+	}
+	proofs := make([]Proof, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var p Proof
+		pos, err := r.U32()
+		if err != nil {
+			return nil, fmt.Errorf("authindex: proof %d position: %w", i, err)
+		}
+		p.Position = int(pos)
+		ns, err := r.U32()
+		if err != nil {
+			return nil, fmt.Errorf("authindex: proof %d sibling count: %w", i, err)
+		}
+		for j := uint32(0); j < ns; j++ {
+			s, err := r.Bytes()
+			if err != nil {
+				return nil, fmt.Errorf("authindex: proof %d sibling %d: %w", i, j, err)
+			}
+			p.Siblings = append(p.Siblings, s)
+		}
+		proofs = append(proofs, p)
+	}
+	return proofs, nil
+}

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/attacks"
+	"repro/internal/core"
+)
+
+// RunE11 regenerates experiment E11: leakage accumulation over the query
+// budget. Definition 2.1 parameterises Eve by the number q of observed
+// queries; this experiment turns the §2 hospital attack into a curve —
+// how fast does a passive Eve's estimate of every hospital's hidden
+// fatality ratio converge as the application's query stream flows past
+// her? Expected shape: at q = 0 her error equals the blind baseline; it
+// decays toward ~0 as coverage of the (hospital, fatal) query pairs
+// approaches 1.
+func RunE11(patients, trials int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E11",
+		Title:  "leakage accumulation: passive Eve's error vs observed query budget q (scheme: " + core.SchemeID + ")",
+		Header: []string{"q", "mean |err|", "blind |err|", "coverage"},
+		Notes: []string{
+			"generalises E2: Alex issues q queries drawn from a 5-query application mix; Eve fingerprints each by result size and estimates all three hidden per-hospital fatality ratios",
+			fmt.Sprintf("patients: %d, trials per q: %d; fallback estimate is the public marginal 0.08", patients, trials),
+		},
+	}
+	qs := []int{0, 1, 2, 4, 8, 16, 32}
+	reports, err := attacks.LeakageAccumulation(MustFactory(core.SchemeID), patients, trials, qs, seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: E11: %w", err)
+	}
+	for _, r := range reports {
+		t.AddRow(fmt.Sprintf("%d", r.Q), f3(r.MeanAbsError), f3(r.BlindError), f3(r.Coverage))
+	}
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// RunE12 regenerates experiment E12: communication costs. Outsourcing is a
+// bandwidth contract as much as a compute one; this experiment measures,
+// per scheme, the wire size of everything Alex and Eve exchange: the
+// uploaded ciphertext (bytes per tuple, vs the plaintext encoding), the
+// encrypted-query token, and the result stream per returned tuple
+// (pre-filter, so coarse schemes pay for their false positives here too).
+func RunE12(tuples, queries int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E12",
+		Title: "communication: wire bytes per scheme (employee workload)",
+		Header: []string{"scheme", "upload B/tuple", "expansion ×", "token B",
+			"result B/true tuple"},
+		Notes: []string{
+			"upload = wire-encoded encrypted table; expansion is relative to the wire-encoded plaintext table",
+			"result bytes counted pre-filter: false positives of coarse schemes are shipped and paid for",
+			fmt.Sprintf("tuples: %d, queries: %d", tuples, queries),
+		},
+	}
+	table, err := workload.Employees(tuples, seed)
+	if err != nil {
+		return nil, err
+	}
+	plainBytes := len(relation.EncodeTable(table))
+	qs := workload.QueryMix(table, queries, seed+1)
+	for _, name := range SchemeNames {
+		scheme, err := MustFactory(name)(table.Schema())
+		if err != nil {
+			return nil, err
+		}
+		ct, err := scheme.EncryptTable(table)
+		if err != nil {
+			return nil, err
+		}
+		uploadBytes := len(wire.EncodeTable(nil, ct))
+		tokenBytes, resultBytes, trueTuples := 0, 0, 0
+		for _, q := range qs {
+			eq, err := scheme.EncryptQuery(q)
+			if err != nil {
+				return nil, err
+			}
+			tokenBytes += len(wire.EncodeQuery(nil, eq))
+			res, err := ph.Apply(ct, eq)
+			if err != nil {
+				return nil, err
+			}
+			resultBytes += len(wire.EncodeResult(nil, res))
+			out, err := scheme.DecryptResult(q, res)
+			if err != nil {
+				return nil, err
+			}
+			trueTuples += out.Len()
+		}
+		resultPerTuple := 0.0
+		if trueTuples > 0 {
+			resultPerTuple = float64(resultBytes) / float64(trueTuples)
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.1f", float64(uploadBytes)/float64(tuples)),
+			fmt.Sprintf("%.2f", float64(uploadBytes)/float64(plainBytes)),
+			fmt.Sprintf("%.1f", float64(tokenBytes)/float64(len(qs))),
+			fmt.Sprintf("%.1f", resultPerTuple))
+	}
+	return t, nil
+}

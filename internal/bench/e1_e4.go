@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/attacks"
+	"repro/internal/core"
+	"repro/internal/games"
+)
+
+// RunE1 regenerates experiment E1: the §1 indistinguishability attack.
+// The salary-pair adversary plays the Definition 1.2 game (Definition 2.1
+// with q = 0) against every scheme. Expected shape: advantage ≈ 1 against
+// all deterministic-index schemes, ≈ 0 against the paper's construction.
+func RunE1(trials int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E1",
+		Title:  "§1 salary-pair distinguisher, Definition 1.2 game (q=0)",
+		Header: []string{"scheme", "wins", "advantage", "95% CI (win rate)"},
+		Notes: []string{
+			"paper: 'Eve can determine with high probability to which table corresponds the received ciphertext' for Hacıgümüş-style schemes; our construction should reduce her to guessing",
+			fmt.Sprintf("trials per scheme: %d, fresh keys per trial", trials),
+		},
+	}
+	for _, name := range SchemeNames {
+		g := games.Def21{Factory: MustFactory(name), Q: 0, Mode: games.Passive}
+		res, err := g.Run(attacks.SalaryPair{}, trials, seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: E1 scheme %s: %w", name, err)
+		}
+		lo, hi := res.WilsonInterval(1.96)
+		t.AddRow(name, res.String(), f3(res.Advantage()), fmt.Sprintf("[%s, %s]", f3(lo), f3(hi)))
+	}
+	// Padding ablation: the word-length adversary must also fail against
+	// the (padded) construction.
+	g := games.Def21{Factory: MustFactory(core.SchemeID), Q: 0, Mode: games.Passive}
+	res, err := g.Run(attacks.WordLengthPair{}, trials, seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: E1 padding ablation: %w", err)
+	}
+	lo, hi := res.WilsonInterval(1.96)
+	t.AddRow(core.SchemeID+" (padding ablation)", res.String(), f3(res.Advantage()),
+		fmt.Sprintf("[%s, %s]", f3(lo), f3(hi)))
+	return t, nil
+}
+
+// RunE2 regenerates experiment E2: the §2 passive hospital-inference
+// attack against the paper's construction. Expected shape: Eve identifies
+// the four queries from result sizes nearly always and estimates hospital
+// 1's fatality ratio far better than the public marginal allows — despite
+// the scheme being indistinguishability-secure at q = 0.
+func RunE2(patients, trials int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E2",
+		Title:  "§2 hospital inference (passive adversary, q=4 observed queries)",
+		Header: []string{"scheme", "query-id rate", "true rate", "estimate", "|err| attack", "|err| blind"},
+		Notes: []string{
+			"paper: 'by intersecting the answers to the first and the fourth query, Eve can infer the ratio of lethal to successful outcomes in hospital 1'",
+			fmt.Sprintf("patients per table: %d, trials: %d; hidden per-hospital rates drawn in [0.02, 0.20]", patients, trials),
+			"'|err| blind' is Eve's error when forced to guess the public marginal 0.08 — the attack must beat it",
+		},
+	}
+	for _, name := range SchemeNames {
+		rep, err := attacks.HospitalInference(MustFactory(name), patients, trials, seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: E2 scheme %s: %w", name, err)
+		}
+		t.AddRow(name, f3(rep.QueryIDRate), f3(rep.MeanTrueRate), f3(rep.MeanEstRate),
+			f3(rep.MeanAbsError), f3(rep.BlindError))
+	}
+	return t, nil
+}
+
+// RunE3 regenerates experiment E3: the §2 active "John" attack. Expected
+// shape: recovery probability ≈ 1 for every database PH, including the
+// paper's construction — the impossibility that motivates q = 0.
+func RunE3(patients, trials int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E3",
+		Title:  "§2 active attack: recover John's hospital and outcome via the query-encryption oracle",
+		Header: []string{"scheme", "oracle calls", "hospital recovered", "outcome recovered"},
+		Notes: []string{
+			"paper: 'no matter how secure the table is encrypted, such an adversary is able to deduce a significant amount of information'",
+			fmt.Sprintf("patients per table: %d, trials: %d", patients, trials),
+		},
+	}
+	for _, name := range SchemeNames {
+		rep, err := attacks.JohnAttack(MustFactory(name), patients, trials, seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: E3 scheme %s: %w", name, err)
+		}
+		t.AddRow(name, fmt.Sprintf("%d", rep.OracleCalls), f3(rep.HospitalRate), f3(rep.OutcomeRate))
+	}
+	return t, nil
+}
+
+// RunE4 regenerates experiment E4: Theorem 2.1 — the generic adversary's
+// advantage against the paper's construction as a function of the query
+// budget q, in both adversary models. Expected shape: advantage ≈ 0 at
+// q = 0 (the construction's security claim) and ≈ 1 for every q ≥ 1 (the
+// theorem).
+func RunE4(trials int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E4",
+		Title:  "Theorem 2.1: generic adversary vs the paper's construction, advantage over query budget q",
+		Header: []string{"q", "mode", "wins", "advantage"},
+		Notes: []string{
+			"paper: 'Any database PH (K, E, Eq, D) is insecure in the sense of Definition 2.1 if q > 0'; and with q = 0 'Theorem 2.1 does not apply' — the construction is secure",
+			fmt.Sprintf("trials per cell: %d", trials),
+		},
+	}
+	adv := attacks.Theorem21{Rows: 32}
+	for _, q := range []int{0, 1, 2, 4, 8} {
+		for _, mode := range []games.Mode{games.Passive, games.Active} {
+			g := games.Def21{
+				Factory: MustFactory(core.SchemeID),
+				Q:       q,
+				Mode:    mode,
+			}
+			if mode == games.Passive {
+				for i := 0; i < q; i++ {
+					g.AlexQueries = append(g.AlexQueries, attacks.Theorem21Query())
+				}
+			}
+			res, err := g.Run(adv, trials, seed+16*int64(q)+int64(mode))
+			if err != nil {
+				return nil, fmt.Errorf("bench: E4 q=%d %s: %w", q, mode, err)
+			}
+			t.AddRow(fmt.Sprintf("%d", q), mode.String(), res.String(), f3(res.Advantage()))
+		}
+	}
+	return t, nil
+}

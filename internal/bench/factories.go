@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/games"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/schemes/bucket"
+	"repro/internal/schemes/damiani"
+	"repro/internal/schemes/detph"
+	"repro/internal/schemes/gohph"
+)
+
+// SchemeNames lists the schemes the experiments compare, in report order:
+// the paper's construction and its second instantiation ("others can be
+// used instead" — Goh's secure indexes) first, then the three
+// deterministic-index comparators.
+var SchemeNames = []string{core.SchemeID, gohph.SchemeID, bucket.SchemeID, damiani.SchemeID, detph.SchemeID}
+
+// Factory returns a games.SchemeFactory for the named scheme, drawing a
+// fresh random key on every call (one per game trial).
+func Factory(name string) (games.SchemeFactory, error) {
+	switch name {
+	case core.SchemeID:
+		return func(s *relation.Schema) (ph.Scheme, error) {
+			key, err := crypto.RandomKey()
+			if err != nil {
+				return nil, err
+			}
+			return core.New(key, s, core.Options{})
+		}, nil
+	case bucket.SchemeID:
+		return func(s *relation.Schema) (ph.Scheme, error) {
+			key, err := crypto.RandomKey()
+			if err != nil {
+				return nil, err
+			}
+			return bucket.New(key, s, bucket.Options{})
+		}, nil
+	case damiani.SchemeID:
+		return func(s *relation.Schema) (ph.Scheme, error) {
+			key, err := crypto.RandomKey()
+			if err != nil {
+				return nil, err
+			}
+			return damiani.New(key, s, damiani.Options{})
+		}, nil
+	case detph.SchemeID:
+		return func(s *relation.Schema) (ph.Scheme, error) {
+			key, err := crypto.RandomKey()
+			if err != nil {
+				return nil, err
+			}
+			return detph.New(key, s)
+		}, nil
+	case gohph.SchemeID:
+		return func(s *relation.Schema) (ph.Scheme, error) {
+			key, err := crypto.RandomKey()
+			if err != nil {
+				return nil, err
+			}
+			return gohph.New(key, s, gohph.Options{})
+		}, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown scheme %q", name)
+	}
+}
+
+// MustFactory is Factory for statically known names.
+func MustFactory(name string) games.SchemeFactory {
+	f, err := Factory(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,149 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetAndTest(t *testing.T) {
+	f, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := []uint32{0, 1, 7, 8, 63, 99}
+	for _, p := range positions {
+		f.Set(p)
+	}
+	for _, p := range positions {
+		if !f.Test(p) {
+			t.Errorf("bit %d not set", p)
+		}
+	}
+	for _, p := range []uint32{2, 50, 98} {
+		if f.Test(p) {
+			t.Errorf("bit %d unexpectedly set", p)
+		}
+	}
+	if f.PopCount() != len(positions) {
+		t.Fatalf("popcount %d, want %d", f.PopCount(), len(positions))
+	}
+}
+
+func TestModuloWrap(t *testing.T) {
+	f, _ := New(10)
+	f.Set(12) // == bit 2
+	if !f.Test(2) || !f.Test(12) || !f.Test(22) {
+		t.Fatal("positions must wrap mod m")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero-bit filter created")
+	}
+}
+
+func TestFromBytesRoundTrip(t *testing.T) {
+	f, _ := New(33)
+	f.Set(32)
+	g, err := FromBytes(f.Bytes(), 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Test(32) || g.Test(0) {
+		t.Fatal("deserialised filter differs")
+	}
+	if _, err := FromBytes(f.Bytes(), 64); err == nil {
+		t.Fatal("mismatched bit count accepted")
+	}
+	if _, err := FromBytes(nil, 8); err == nil {
+		t.Fatal("empty bytes accepted for 8-bit filter")
+	}
+}
+
+func TestOptimalParams(t *testing.T) {
+	m, k, err := OptimalParams(3, 1.0/65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Textbook: m ≈ 69 bits, k ≈ 16 for n=3, p=2^-16.
+	if m < 60 || m > 80 {
+		t.Fatalf("m = %d, expected ≈ 69", m)
+	}
+	if k < 12 || k > 20 {
+		t.Fatalf("k = %d, expected ≈ 16", k)
+	}
+	if _, _, err := OptimalParams(0, 0.01); err == nil {
+		t.Fatal("zero items accepted")
+	}
+	if _, _, err := OptimalParams(3, 1.5); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+func TestFalsePositiveRateFormula(t *testing.T) {
+	// Optimally dimensioned filter must hit its target rate within 2x.
+	target := 0.01
+	m, k, err := OptimalParams(100, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FalsePositiveRate(m, k, 100)
+	if got > 2*target {
+		t.Fatalf("predicted rate %v far above target %v", got, target)
+	}
+	if FalsePositiveRate(0, 1, 1) != 1 || FalsePositiveRate(8, 0, 1) != 1 {
+		t.Fatal("degenerate parameters should predict rate 1")
+	}
+}
+
+func TestEmpiricalFalsePositiveRate(t *testing.T) {
+	// Insert 50 random positions per trial, probe absent ones; the
+	// empirical rate must be within 3x of the formula.
+	const n = 50
+	m, k, err := OptimalParams(n, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	probes, hits := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		f, _ := New(m)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				f.Set(rng.Uint32())
+			}
+		}
+		// Probe 20 random "absent" items.
+		for p := 0; p < 20; p++ {
+			all := true
+			for j := 0; j < k; j++ {
+				if !f.Test(rng.Uint32()) {
+					all = false
+					break
+				}
+			}
+			probes++
+			if all {
+				hits++
+			}
+		}
+	}
+	rate := float64(hits) / float64(probes)
+	want := FalsePositiveRate(m, k, n)
+	if rate > 3*want+0.01 {
+		t.Fatalf("empirical FP rate %v, formula %v", rate, want)
+	}
+}
+
+func TestSetTestProperty(t *testing.T) {
+	f, _ := New(512)
+	check := func(pos uint32) bool {
+		f.Set(pos)
+		return f.Test(pos)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

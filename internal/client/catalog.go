@@ -1,0 +1,82 @@
+package client
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/sqlmini"
+)
+
+// Catalog manages several outsourced tables over one connection, routing
+// SQL statements to the right table's scheme by the FROM clause. Like Conn,
+// a Catalog is not safe for concurrent use.
+type Catalog struct {
+	conn   *Conn
+	tables map[string]*DB
+}
+
+// NewCatalog creates an empty catalog over the connection.
+func NewCatalog(conn *Conn) *Catalog {
+	return &Catalog{conn: conn, tables: make(map[string]*DB)}
+}
+
+// Attach registers a scheme for a remote table name and returns its DB
+// handle. Attaching an already attached name replaces the handle (e.g.
+// after a key rotation).
+func (c *Catalog) Attach(remote string, scheme ph.Scheme) (*DB, error) {
+	if remote == "" {
+		return nil, fmt.Errorf("client: catalog table name must not be empty")
+	}
+	db := NewDB(c.conn, scheme, remote)
+	c.tables[remote] = db
+	return db, nil
+}
+
+// DB returns the handle for a remote table name.
+func (c *Catalog) DB(remote string) (*DB, error) {
+	db, ok := c.tables[remote]
+	if !ok {
+		return nil, fmt.Errorf("client: no table %q attached (have %v)", remote, c.Names())
+	}
+	return db, nil
+}
+
+// Names lists the attached remote table names, sorted.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Query parses the statement, resolves the FROM clause against attached
+// tables (by remote name first, then by schema name), and executes it with
+// that table's scheme.
+func (c *Catalog) Query(sql string) (*relation.Table, error) {
+	q, err := sqlmini.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if db, ok := c.tables[q.Table]; ok {
+		return db.Query(sql)
+	}
+	// Fall back to schema-name lookup so applications can use logical
+	// relation names that differ from the remote storage name.
+	var match *DB
+	for _, db := range c.tables {
+		if db.Scheme().Schema().Name == q.Table {
+			if match != nil {
+				return nil, fmt.Errorf("client: schema name %q is ambiguous across attached tables", q.Table)
+			}
+			match = db
+		}
+	}
+	if match == nil {
+		return nil, fmt.Errorf("client: no attached table serves %q (have %v)", q.Table, c.Names())
+	}
+	return match.Query(sql)
+}

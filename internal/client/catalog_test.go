@@ -1,0 +1,231 @@
+package client
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/schemes/bucket"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func TestCatalogRoutesByTableName(t *testing.T) {
+	conn := startPipe(t, storage.NewMemory())
+	cat := NewCatalog(conn)
+
+	empDB, err := cat.Attach("emp", newScheme(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	patScheme, err := core.New(key, workload.HospitalSchema(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patDB, err := cat.Attach("pat", patScheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := empDB.CreateTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	patients, err := workload.Hospital(workload.HospitalConfig{Patients: 30}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := patDB.CreateTable(patients); err != nil {
+		t.Fatal(err)
+	}
+
+	// Route by remote name.
+	res, err := cat.Query("SELECT * FROM emp WHERE dept = 'HR'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("emp query returned %d tuples", res.Len())
+	}
+	// Route by schema name ("patients" is the schema of remote "pat").
+	res, err = cat.Query("SELECT * FROM patients WHERE hospital = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range res.Tuples() {
+		if tp[2].Integer() != 2 {
+			t.Fatalf("wrong tuple from patients: %v", tp)
+		}
+	}
+	// Unknown table.
+	if _, err := cat.Query("SELECT * FROM nope WHERE x = 1"); err == nil {
+		t.Fatal("query on unattached table accepted")
+	}
+	if len(cat.Names()) != 2 {
+		t.Fatalf("names: %v", cat.Names())
+	}
+}
+
+func TestCatalogAmbiguousSchemaName(t *testing.T) {
+	conn := startPipe(t, storage.NewMemory())
+	cat := NewCatalog(conn)
+	if _, err := cat.Attach("a", newScheme(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Attach("b", newScheme(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Both remotes serve schema "emp": routing by schema name must
+	// refuse rather than pick silently.
+	if _, err := cat.Query("SELECT * FROM emp WHERE dept = 'HR'"); err == nil ||
+		!strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("expected ambiguity error, got %v", err)
+	}
+}
+
+func TestConfigRoundTripAndAttach(t *testing.T) {
+	cfg := &Config{Tables: []TableConfig{
+		{
+			Remote: "emp",
+			Scheme: core.SchemeID,
+			Schema: SchemaConfigOf(empSchema()),
+		},
+		{
+			Remote:  "pat",
+			Scheme:  bucket.SchemeID,
+			Schema:  SchemaConfigOf(workload.HospitalSchema()),
+			Buckets: 8,
+			IntDomains: map[string]bucket.Domain{
+				"hospital": {Min: 1, Max: 3},
+			},
+		},
+	}}
+	path := filepath.Join(t.TempDir(), "client.json")
+	if err := SaveConfig(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Tables) != 2 || loaded.Tables[1].Buckets != 8 {
+		t.Fatalf("loaded config: %+v", loaded)
+	}
+
+	master := crypto.KeyFromBytes([]byte("catalog-passphrase"))
+	conn := startPipe(t, storage.NewMemory())
+	cat, err := loaded.AttachAll(conn, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empDB, err := cat.DB("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empDB.CreateTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cat.Query("SELECT name FROM emp WHERE salary = 9100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Tuple(0)[0].Str() != "Ada" {
+		t.Fatalf("config-built catalog query: %v", res)
+	}
+}
+
+func TestConfigKeysAreDeterministicAndSeparated(t *testing.T) {
+	// The same passphrase must rebuild a scheme that can decrypt what a
+	// previous instance encrypted; a different table name must not.
+	master := crypto.KeyFromBytes([]byte("stable-pass"))
+	tc := TableConfig{Remote: "emp", Scheme: core.SchemeID, Schema: SchemaConfigOf(empSchema())}
+	s1, err := tc.BuildScheme(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := tc.BuildScheme(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := s1.EncryptTable(empTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := s2.DecryptTable(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Equal(empTable()) {
+		t.Fatal("rebuilt scheme could not decrypt")
+	}
+	other := tc
+	other.Remote = "different"
+	s3, err := other.BuildScheme(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.DecryptTable(ct); err == nil {
+		// decryptTuple may error or produce garbage; garbage that
+		// happens to parse must at least differ from the plaintext.
+		got, err := s3.DecryptTable(ct)
+		if err == nil && got.Equal(empTable()) {
+			t.Fatal("different table name derived the same key")
+		}
+	}
+}
+
+func TestLoadConfigValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"syntax", `{`},
+		{"empty remote", `{"tables":[{"remote":"","scheme":"swp-ph","schema":{"name":"t","columns":[{"name":"a","type":"string","width":3}]}}]}`},
+		{"duplicate", `{"tables":[
+			{"remote":"x","scheme":"swp-ph","schema":{"name":"t","columns":[{"name":"a","type":"string","width":3}]}},
+			{"remote":"x","scheme":"swp-ph","schema":{"name":"t","columns":[{"name":"a","type":"string","width":3}]}}]}`},
+		{"bad type", `{"tables":[{"remote":"x","scheme":"swp-ph","schema":{"name":"t","columns":[{"name":"a","type":"float","width":3}]}}]}`},
+		{"bad width", `{"tables":[{"remote":"x","scheme":"swp-ph","schema":{"name":"t","columns":[{"name":"a","type":"int","width":0}]}}]}`},
+	}
+	for _, c := range cases {
+		path := filepath.Join(dir, c.name+".json")
+		if err := writeFile(path, c.json); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadConfig(path); err == nil {
+			t.Errorf("%s: invalid config loaded", c.name)
+		}
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing config loaded")
+	}
+}
+
+func TestBuildSchemeUnknown(t *testing.T) {
+	tc := TableConfig{Remote: "x", Scheme: "nope", Schema: SchemaConfigOf(empSchema())}
+	if _, err := tc.BuildScheme(crypto.Key{}); err == nil {
+		t.Fatal("unknown scheme built")
+	}
+}
+
+func TestCatalogAttachValidation(t *testing.T) {
+	conn := startPipe(t, storage.NewMemory())
+	cat := NewCatalog(conn)
+	if _, err := cat.Attach("", newScheme(t)); err == nil {
+		t.Fatal("empty table name attached")
+	}
+	if _, err := cat.DB("nope"); err == nil {
+		t.Fatal("unknown table returned")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o600)
+}

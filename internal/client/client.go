@@ -1,0 +1,439 @@
+// Package client implements Alex: the trusted client library. The low-level
+// Conn speaks the wire protocol; the high-level DB wraps a database privacy
+// homomorphism (ph.Scheme) so that applications work entirely in plaintext
+// terms — plaintext tables in, plaintext results out — while nothing but
+// ciphertext ever crosses the connection.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"repro/internal/authindex"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/sqlmini"
+	"repro/internal/wire"
+)
+
+// Conn is a low-level protocol connection. It is not safe for concurrent
+// use; wrap it in your own mutex or pool connections.
+type Conn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
+	}
+	return NewConn(c), nil
+}
+
+// NewConn wraps an established connection (e.g. one side of net.Pipe in
+// tests).
+func NewConn(c net.Conn) *Conn {
+	return &Conn{conn: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// roundTrip sends a command frame and reads the response, converting
+// RespError into a Go error.
+func (c *Conn) roundTrip(f wire.Frame) (wire.Frame, error) {
+	if err := wire.WriteFrame(c.w, f); err != nil {
+		return wire.Frame{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return wire.Frame{}, fmt.Errorf("client: flushing: %w", err)
+	}
+	resp, err := wire.ReadFrame(c.r)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	if resp.Type == wire.RespError {
+		r := wire.NewBuffer(resp.Payload)
+		msg, merr := r.String()
+		if merr != nil {
+			msg = "malformed error response"
+		}
+		return wire.Frame{}, fmt.Errorf("client: server error: %s", msg)
+	}
+	return resp, nil
+}
+
+// Store uploads an encrypted table under the given name.
+func (c *Conn) Store(name string, t *ph.EncryptedTable) error {
+	payload := wire.AppendString(nil, name)
+	payload = wire.EncodeTable(payload, t)
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdStore, Payload: payload})
+	if err != nil {
+		return err
+	}
+	if resp.Type != wire.RespOK {
+		return fmt.Errorf("client: unexpected response %#x to store", resp.Type)
+	}
+	return nil
+}
+
+// Insert appends encrypted tuples to a stored table.
+func (c *Conn) Insert(name string, tuples []ph.EncryptedTuple) error {
+	payload := wire.AppendString(nil, name)
+	payload = wire.AppendU32(payload, uint32(len(tuples)))
+	for _, tp := range tuples {
+		payload = wire.EncodeTuple(payload, tp)
+	}
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdInsert, Payload: payload})
+	if err != nil {
+		return err
+	}
+	if resp.Type != wire.RespOK {
+		return fmt.Errorf("client: unexpected response %#x to insert", resp.Type)
+	}
+	return nil
+}
+
+// Query evaluates an encrypted query server-side.
+func (c *Conn) Query(name string, q *ph.EncryptedQuery) (*ph.Result, error) {
+	payload := wire.AppendString(nil, name)
+	payload = wire.EncodeQuery(payload, q)
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdQuery, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.RespResult {
+		return nil, fmt.Errorf("client: unexpected response %#x to query", resp.Type)
+	}
+	return wire.DecodeResult(wire.NewBuffer(resp.Payload))
+}
+
+// QueryBatch evaluates several encrypted queries against one table in a
+// single round trip, in order.
+func (c *Conn) QueryBatch(name string, qs []*ph.EncryptedQuery) ([]*ph.Result, error) {
+	payload := wire.AppendString(nil, name)
+	payload = wire.AppendU32(payload, uint32(len(qs)))
+	for _, q := range qs {
+		payload = wire.EncodeQuery(payload, q)
+	}
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdQueryBatch, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.RespResults {
+		return nil, fmt.Errorf("client: unexpected response %#x to query batch", resp.Type)
+	}
+	r := wire.NewBuffer(resp.Payload)
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) != len(qs) {
+		return nil, fmt.Errorf("client: batch returned %d results for %d queries", n, len(qs))
+	}
+	out := make([]*ph.Result, n)
+	for i := range out {
+		if out[i], err = wire.DecodeResult(r); err != nil {
+			return nil, fmt.Errorf("client: batch result %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// FetchAll downloads a complete encrypted table.
+func (c *Conn) FetchAll(name string) (*ph.EncryptedTable, error) {
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdFetchAll, Payload: wire.AppendString(nil, name)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.RespTable {
+		return nil, fmt.Errorf("client: unexpected response %#x to fetch", resp.Type)
+	}
+	return wire.DecodeTable(wire.NewBuffer(resp.Payload))
+}
+
+// Drop removes a stored table.
+func (c *Conn) Drop(name string) error {
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdDrop, Payload: wire.AppendString(nil, name)})
+	if err != nil {
+		return err
+	}
+	if resp.Type != wire.RespOK {
+		return fmt.Errorf("client: unexpected response %#x to drop", resp.Type)
+	}
+	return nil
+}
+
+// List enumerates stored tables.
+func (c *Conn) List() ([]wire.TableInfo, error) {
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdList})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.RespList {
+		return nil, fmt.Errorf("client: unexpected response %#x to list", resp.Type)
+	}
+	return wire.DecodeList(wire.NewBuffer(resp.Payload))
+}
+
+// Root fetches the server's authenticated-index root and tuple count for a
+// table (extension).
+func (c *Conn) Root(name string) (root []byte, tuples int, err error) {
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdRoot, Payload: wire.AppendString(nil, name)})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Type != wire.RespRoot {
+		return nil, 0, fmt.Errorf("client: unexpected response %#x to root", resp.Type)
+	}
+	r := wire.NewBuffer(resp.Payload)
+	root, err = r.Bytes()
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := r.U32()
+	if err != nil {
+		return nil, 0, err
+	}
+	return root, int(n), nil
+}
+
+// Prove fetches inclusion proofs for result positions (extension).
+func (c *Conn) Prove(name string, positions []int) ([]authindex.Proof, error) {
+	payload := wire.AppendString(nil, name)
+	payload = wire.AppendU32(payload, uint32(len(positions)))
+	for _, p := range positions {
+		payload = wire.AppendU32(payload, uint32(p))
+	}
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdProve, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.RespProofs {
+		return nil, fmt.Errorf("client: unexpected response %#x to prove", resp.Type)
+	}
+	return authindex.DecodeProofs(wire.NewBuffer(resp.Payload))
+}
+
+// DB is the high-level secure-outsourcing client: a scheme instance (keys
+// stay here) bound to a connection and a remote table name.
+type DB struct {
+	conn   *Conn
+	scheme ph.Scheme
+	table  string
+
+	// root pins the authenticated-index root after CreateTable /
+	// Verify; nil disables verification.
+	root       []byte
+	rootTuples int
+}
+
+// NewDB binds a scheme to a connection and remote table name.
+func NewDB(conn *Conn, scheme ph.Scheme, table string) *DB {
+	return &DB{conn: conn, scheme: scheme, table: table}
+}
+
+// Scheme returns the underlying privacy homomorphism.
+func (db *DB) Scheme() ph.Scheme { return db.scheme }
+
+// Root returns the currently pinned authenticated-index root and tuple
+// count (nil if none is pinned). Applications persist this across restarts
+// — it is the only trust anchor needed to verify future answers.
+func (db *DB) Root() (root []byte, tuples int) {
+	return append([]byte(nil), db.root...), db.rootTuples
+}
+
+// PinRoot installs a previously persisted root (e.g. after a client
+// restart). Passing a nil root disables verification.
+func (db *DB) PinRoot(root []byte, tuples int) {
+	if root == nil {
+		db.root, db.rootTuples = nil, 0
+		return
+	}
+	db.root = append([]byte(nil), root...)
+	db.rootTuples = tuples
+}
+
+// CreateTable encrypts and uploads the plaintext table, pinning the
+// authenticated-index root of the uploaded ciphertext.
+func (db *DB) CreateTable(t *relation.Table) error {
+	ct, err := db.scheme.EncryptTable(t)
+	if err != nil {
+		return err
+	}
+	if err := db.conn.Store(db.table, ct); err != nil {
+		return err
+	}
+	tree := authindex.Build(ct)
+	db.root = tree.Root()
+	db.rootTuples = len(ct.Tuples)
+	return nil
+}
+
+// Insert encrypts and appends plaintext tuples. Appending changes the
+// table, so the pinned root is refreshed from a full fetch (an optimisation
+// would maintain the root incrementally; kept simple here).
+func (db *DB) Insert(tuples ...relation.Tuple) error {
+	t := relation.NewTable(db.scheme.Schema())
+	for _, tp := range tuples {
+		if err := t.Insert(tp); err != nil {
+			return err
+		}
+	}
+	ct, err := db.scheme.EncryptTable(t)
+	if err != nil {
+		return err
+	}
+	if err := db.conn.Insert(db.table, ct.Tuples); err != nil {
+		return err
+	}
+	if db.root != nil {
+		full, err := db.conn.FetchAll(db.table)
+		if err != nil {
+			return err
+		}
+		tree := authindex.Build(full)
+		db.root = tree.Root()
+		db.rootTuples = len(full.Tuples)
+	}
+	return nil
+}
+
+// Select runs one exact select end to end: encrypt the query, evaluate it
+// at the server, decrypt, filter false positives. If a root is pinned, each
+// returned tuple's inclusion proof is verified first (extension).
+func (db *DB) Select(q relation.Eq) (*relation.Table, error) {
+	eq, err := db.scheme.EncryptQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := db.conn.Query(db.table, eq)
+	if err != nil {
+		return nil, err
+	}
+	if db.root != nil {
+		if err := db.verifyResult(res); err != nil {
+			return nil, err
+		}
+	}
+	return db.scheme.DecryptResult(q, res)
+}
+
+// SelectMany runs several exact selects in one server round trip and
+// returns the decrypted, filtered result per query (order preserved).
+// Verification against the pinned root applies to each result.
+func (db *DB) SelectMany(qs []relation.Eq) ([]*relation.Table, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	eqs := make([]*ph.EncryptedQuery, len(qs))
+	for i, q := range qs {
+		eq, err := db.scheme.EncryptQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		eqs[i] = eq
+	}
+	results, err := db.conn.QueryBatch(db.table, eqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*relation.Table, len(results))
+	for i, res := range results {
+		if db.root != nil {
+			if err := db.verifyResult(res); err != nil {
+				return nil, err
+			}
+		}
+		if out[i], err = db.scheme.DecryptResult(qs[i], res); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// verifyResult checks inclusion proofs for every returned tuple against the
+// pinned root.
+func (db *DB) verifyResult(res *ph.Result) error {
+	if len(res.Positions) == 0 {
+		return nil
+	}
+	proofs, err := db.conn.Prove(db.table, res.Positions)
+	if err != nil {
+		return err
+	}
+	if len(proofs) != len(res.Tuples) {
+		return fmt.Errorf("client: %d proofs for %d result tuples", len(proofs), len(res.Tuples))
+	}
+	for i, p := range proofs {
+		if p.Position != res.Positions[i] {
+			return fmt.Errorf("client: proof %d speaks about position %d, want %d", i, p.Position, res.Positions[i])
+		}
+		if err := authindex.Verify(db.root, db.rootTuples, res.Tuples[i], p); err != nil {
+			return fmt.Errorf("client: result tuple %d failed verification: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SelectAll downloads and decrypts the whole table.
+func (db *DB) SelectAll() (*relation.Table, error) {
+	ct, err := db.conn.FetchAll(db.table)
+	if err != nil {
+		return nil, err
+	}
+	return db.scheme.DecryptTable(ct)
+}
+
+// Query executes a mini-SQL statement: single equalities run as one
+// homomorphic select; conjunctions intersect per-equality results
+// client-side; an absent WHERE clause falls back to a full download;
+// projections apply after decryption.
+func (db *DB) Query(sql string) (*relation.Table, error) {
+	q, err := sqlmini.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if q.Table != db.scheme.Schema().Name && q.Table != db.table {
+		return nil, fmt.Errorf("client: query addresses table %q, this client serves %q (schema %q)",
+			q.Table, db.table, db.scheme.Schema().Name)
+	}
+	var out *relation.Table
+	switch len(q.Where) {
+	case 0:
+		out, err = db.SelectAll()
+		if err != nil {
+			return nil, err
+		}
+	default:
+		// All conjuncts travel in one batched round trip; the
+		// intersection happens client-side.
+		eqs := make([]relation.Eq, len(q.Where))
+		for i, cond := range q.Where {
+			eq, err := cond.Bind(db.scheme.Schema())
+			if err != nil {
+				return nil, err
+			}
+			eqs[i] = eq
+		}
+		parts, err := db.SelectMany(eqs)
+		if err != nil {
+			return nil, err
+		}
+		out = parts[0]
+		for _, part := range parts[1:] {
+			out, err = relation.Intersect(out, part)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if q.Projection != nil {
+		return relation.Project(out, q.Projection...)
+	}
+	return out, nil
+}

@@ -1,0 +1,332 @@
+package client
+
+import (
+	"log"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// startPipe wires a client Conn to a server over an in-memory pipe.
+func startPipe(t *testing.T, store *storage.Store) *Conn {
+	t.Helper()
+	srv := server.New(store, log.New(testWriter{t}, "", 0))
+	cliSide, srvSide := net.Pipe()
+	go srv.ServeConn(srvSide)
+	conn := NewConn(cliSide)
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("server: %s", strings.TrimSpace(string(p)))
+	return len(p), nil
+}
+
+func empSchema() *relation.Schema {
+	return relation.MustSchema("emp",
+		relation.Column{Name: "name", Type: relation.TypeString, Width: 10},
+		relation.Column{Name: "dept", Type: relation.TypeString, Width: 5},
+		relation.Column{Name: "salary", Type: relation.TypeInt, Width: 5},
+	)
+}
+
+func empTable() *relation.Table {
+	t := relation.NewTable(empSchema())
+	t.MustInsert(relation.String("Montgomery"), relation.String("HR"), relation.Int(7500))
+	t.MustInsert(relation.String("Ada"), relation.String("IT"), relation.Int(9100))
+	t.MustInsert(relation.String("Grace"), relation.String("HR"), relation.Int(8800))
+	return t
+}
+
+func newScheme(t *testing.T) ph.Scheme {
+	t.Helper()
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.New(key, empSchema(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEndToEndSelect(t *testing.T) {
+	conn := startPipe(t, storage.NewMemory())
+	db := NewDB(conn, newScheme(t), "emp")
+	if err := db.CreateTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Select(relation.Eq{Column: "dept", Value: relation.String("HR")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := relation.Select(empTable(), relation.Eq{Column: "dept", Value: relation.String("HR")})
+	if !got.Equal(want) {
+		t.Fatalf("select result wrong:\n%v\nvs\n%v", got, want)
+	}
+}
+
+func TestEndToEndSQL(t *testing.T) {
+	conn := startPipe(t, storage.NewMemory())
+	db := NewDB(conn, newScheme(t), "emp")
+	if err := db.CreateTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Query("SELECT name FROM emp WHERE dept = 'HR' AND salary = 8800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Tuple(0)[0].Str() != "Grace" {
+		t.Fatalf("SQL result: %v", got)
+	}
+	// Full-table query.
+	all, err := db.Query("SELECT * FROM emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !all.Equal(empTable()) {
+		t.Fatal("SELECT * did not return the full table")
+	}
+	// Wrong table name is rejected client-side.
+	if _, err := db.Query("SELECT * FROM other WHERE x = 1"); err == nil {
+		t.Fatal("query against wrong table accepted")
+	}
+}
+
+func TestEndToEndInsert(t *testing.T) {
+	conn := startPipe(t, storage.NewMemory())
+	db := NewDB(conn, newScheme(t), "emp")
+	if err := db.CreateTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(relation.Tuple{
+		relation.String("Alan"), relation.String("R&D"), relation.Int(7500),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Select(relation.Eq{Column: "name", Value: relation.String("Alan")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("inserted tuple not found: %v", got)
+	}
+	all, err := db.SelectAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != 4 {
+		t.Fatalf("table has %d tuples after insert, want 4", all.Len())
+	}
+}
+
+func TestServerSeesOnlyCiphertext(t *testing.T) {
+	store := storage.NewMemory()
+	conn := startPipe(t, store)
+	db := NewDB(conn, newScheme(t), "emp")
+	if err := db.CreateTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := store.Get("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range ct.Tuples {
+		for _, w := range tp.Words {
+			for _, plain := range []string{"Montgomery", "HR", "7500", "Ada", "Grace"} {
+				if strings.Contains(string(w), plain) {
+					t.Fatalf("server-side word contains plaintext %q", plain)
+				}
+			}
+		}
+	}
+}
+
+func TestTamperedServerDetected(t *testing.T) {
+	store := storage.NewMemory()
+	conn := startPipe(t, store)
+	db := NewDB(conn, newScheme(t), "emp")
+	if err := db.CreateTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	// Eve rewrites the stored ciphertext behind Alex's back.
+	ct, err := store.Get("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct.Tuples[0].Words[0][0] ^= 1
+	if err := store.Put("emp", ct); err != nil {
+		t.Fatal(err)
+	}
+	// Any select touching the tampered tuple must now fail verification
+	// (the root no longer matches what Alex pinned). Queries that match
+	// nothing cannot be caught — integrity, not completeness.
+	sawVerificationFailure := false
+	for _, q := range []relation.Eq{
+		{Column: "dept", Value: relation.String("HR")},
+		{Column: "dept", Value: relation.String("IT")},
+		{Column: "salary", Value: relation.Int(7500)},
+		{Column: "salary", Value: relation.Int(9100)},
+		{Column: "name", Value: relation.String("Montgomery")},
+		{Column: "name", Value: relation.String("Ada")},
+	} {
+		if _, err := db.Select(q); err != nil && strings.Contains(err.Error(), "verification") {
+			sawVerificationFailure = true
+		}
+	}
+	if !sawVerificationFailure {
+		t.Fatal("no query detected the tampering")
+	}
+}
+
+func TestSelectManyBatch(t *testing.T) {
+	conn := startPipe(t, storage.NewMemory())
+	db := NewDB(conn, newScheme(t), "emp")
+	if err := db.CreateTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	qs := []relation.Eq{
+		{Column: "dept", Value: relation.String("HR")},
+		{Column: "salary", Value: relation.Int(9100)},
+		{Column: "name", Value: relation.String("Nobody")},
+	}
+	parts, err := db.SelectMany(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("got %d results", len(parts))
+	}
+	if parts[0].Len() != 2 || parts[1].Len() != 1 || parts[2].Len() != 0 {
+		t.Fatalf("batch sizes: %d %d %d", parts[0].Len(), parts[1].Len(), parts[2].Len())
+	}
+	if parts[1].Tuple(0)[0].Str() != "Ada" {
+		t.Fatalf("batch result 1: %v", parts[1].Tuple(0))
+	}
+	// Empty batch is a no-op.
+	none, err := db.SelectMany(nil)
+	if err != nil || none != nil {
+		t.Fatalf("empty batch: %v %v", none, err)
+	}
+}
+
+func TestBatchVerifiesEachResult(t *testing.T) {
+	store := storage.NewMemory()
+	conn := startPipe(t, store)
+	db := NewDB(conn, newScheme(t), "emp")
+	if err := db.CreateTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := store.Get("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tampering the tuple IDs leaves the search untouched (matching only
+	// reads the cipherwords) but deterministically breaks every leaf
+	// hash, so any non-empty result must fail verification.
+	for i := range ct.Tuples {
+		ct.Tuples[i].ID[0] ^= 1
+	}
+	if err := store.Put("emp", ct); err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.SelectMany([]relation.Eq{
+		{Column: "dept", Value: relation.String("HR")},
+		{Column: "dept", Value: relation.String("IT")},
+	})
+	if err == nil || !strings.Contains(err.Error(), "verification") {
+		t.Fatalf("batched select did not verify: %v", err)
+	}
+}
+
+func TestListAndDrop(t *testing.T) {
+	conn := startPipe(t, storage.NewMemory())
+	db := NewDB(conn, newScheme(t), "emp")
+	if err := db.CreateTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := conn.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "emp" || infos[0].SchemeID != core.SchemeID || infos[0].Tuples != 3 {
+		t.Fatalf("list: %+v", infos)
+	}
+	if err := conn.Drop("emp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SelectAll(); err == nil {
+		t.Fatal("select on dropped table succeeded")
+	}
+}
+
+func TestServerErrorsPropagate(t *testing.T) {
+	conn := startPipe(t, storage.NewMemory())
+	if _, err := conn.FetchAll("nope"); err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("expected unknown-table error, got %v", err)
+	}
+	// The connection must survive an error response.
+	if _, err := conn.List(); err != nil {
+		t.Fatalf("connection unusable after error: %v", err)
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	store := storage.NewMemory()
+	srv := server.New(store, nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(l)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+
+	conn, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	db := NewDB(conn, newScheme(t), "emp")
+	if err := db.CreateTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Query("SELECT * FROM emp WHERE salary = 9100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Tuple(0)[0].Str() != "Ada" {
+		t.Fatalf("TCP round trip result: %v", got)
+	}
+
+	// A second concurrent client sees the same table.
+	conn2, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	infos, err := conn2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Tuples != 3 {
+		t.Fatalf("second client list: %+v", infos)
+	}
+}

@@ -1,0 +1,175 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/schemes/bucket"
+	"repro/internal/schemes/damiani"
+	"repro/internal/schemes/detph"
+	"repro/internal/schemes/gohph"
+)
+
+// Config is the client-side description of an outsourcing setup: which
+// remote tables exist, their schemas, and how each is encrypted. It
+// contains **no key material** — per-table keys are derived on demand from
+// a master key the application supplies (e.g. from a passphrase), so the
+// config file can live on disk unprotected.
+type Config struct {
+	// Tables holds one entry per outsourced table.
+	Tables []TableConfig `json:"tables"`
+}
+
+// TableConfig describes one outsourced table.
+type TableConfig struct {
+	// Remote is the table name at the server.
+	Remote string `json:"remote"`
+	// Scheme is the scheme ID (swp-ph, bucket, damiani, detph).
+	Scheme string `json:"scheme"`
+	// Schema describes the plaintext relation.
+	Schema SchemaConfig `json:"schema"`
+	// ChecksumLen is the SWP checksum width for swp-ph (0 = default).
+	ChecksumLen int `json:"checksum_len,omitempty"`
+	// PerColumnWidth enables the variable-length layout for swp-ph.
+	PerColumnWidth bool `json:"per_column_width,omitempty"`
+	// Buckets is the bucket count for bucket/damiani (0 = default).
+	Buckets int `json:"buckets,omitempty"`
+	// IntDomains declares integer domains for the bucket scheme.
+	IntDomains map[string]bucket.Domain `json:"int_domains,omitempty"`
+	// FPRate is the Bloom false-positive target for goh-ph (0 = default).
+	FPRate float64 `json:"fp_rate,omitempty"`
+}
+
+// SchemaConfig is the JSON form of a relation schema.
+type SchemaConfig struct {
+	// Name is the relation name.
+	Name string `json:"name"`
+	// Columns lists the attributes in order.
+	Columns []ColumnConfig `json:"columns"`
+}
+
+// ColumnConfig is the JSON form of one column.
+type ColumnConfig struct {
+	// Name is the attribute name.
+	Name string `json:"name"`
+	// Type is "string" or "int".
+	Type string `json:"type"`
+	// Width is the maximum encoded width.
+	Width int `json:"width"`
+}
+
+// SchemaConfigOf converts a schema into its JSON form.
+func SchemaConfigOf(s *relation.Schema) SchemaConfig {
+	sc := SchemaConfig{Name: s.Name}
+	for _, c := range s.Columns {
+		sc.Columns = append(sc.Columns, ColumnConfig{Name: c.Name, Type: c.Type.String(), Width: c.Width})
+	}
+	return sc
+}
+
+// Build validates the JSON form back into a schema.
+func (sc SchemaConfig) Build() (*relation.Schema, error) {
+	cols := make([]relation.Column, len(sc.Columns))
+	for i, cc := range sc.Columns {
+		var typ relation.Type
+		switch cc.Type {
+		case "string":
+			typ = relation.TypeString
+		case "int":
+			typ = relation.TypeInt
+		default:
+			return nil, fmt.Errorf("client: column %q has unknown type %q", cc.Name, cc.Type)
+		}
+		cols[i] = relation.Column{Name: cc.Name, Type: typ, Width: cc.Width}
+	}
+	return relation.NewSchema(sc.Name, cols...)
+}
+
+// BuildScheme instantiates the table's privacy homomorphism. The table key
+// is derived from the master key and the remote table name, so one
+// passphrase serves a whole catalog without key reuse across tables.
+func (tc TableConfig) BuildScheme(master crypto.Key) (ph.Scheme, error) {
+	schema, err := tc.Schema.Build()
+	if err != nil {
+		return nil, err
+	}
+	key := crypto.NewPRF(master).DeriveKey("client/table-key", []byte(tc.Remote))
+	switch tc.Scheme {
+	case core.SchemeID:
+		return core.New(key, schema, core.Options{
+			ChecksumLen:    tc.ChecksumLen,
+			PerColumnWidth: tc.PerColumnWidth,
+		})
+	case bucket.SchemeID:
+		return bucket.New(key, schema, bucket.Options{Buckets: tc.Buckets, IntDomains: tc.IntDomains})
+	case damiani.SchemeID:
+		return damiani.New(key, schema, damiani.Options{Buckets: tc.Buckets})
+	case detph.SchemeID:
+		return detph.New(key, schema)
+	case gohph.SchemeID:
+		return gohph.New(key, schema, gohph.Options{FPRate: tc.FPRate})
+	default:
+		return nil, fmt.Errorf("client: unknown scheme %q for table %q", tc.Scheme, tc.Remote)
+	}
+}
+
+// AttachAll builds every table in the config and attaches it to a catalog
+// over the connection.
+func (c *Config) AttachAll(conn *Conn, master crypto.Key) (*Catalog, error) {
+	cat := NewCatalog(conn)
+	for _, tc := range c.Tables {
+		scheme, err := tc.BuildScheme(master)
+		if err != nil {
+			return nil, fmt.Errorf("client: table %q: %w", tc.Remote, err)
+		}
+		if _, err := cat.Attach(tc.Remote, scheme); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// SaveConfig writes the config as JSON to path (0600: it names tables and
+// schemas, which are metadata Alex may prefer to keep private, though no
+// keys are inside).
+func SaveConfig(path string, c *Config) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("client: encoding config: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o600); err != nil {
+		return fmt.Errorf("client: writing config: %w", err)
+	}
+	return nil
+}
+
+// LoadConfig reads a JSON config from path and validates every schema.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading config: %w", err)
+	}
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("client: parsing config %s: %w", path, err)
+	}
+	seen := map[string]bool{}
+	for _, tc := range c.Tables {
+		if tc.Remote == "" {
+			return nil, fmt.Errorf("client: config %s: table with empty remote name", path)
+		}
+		if seen[tc.Remote] {
+			return nil, fmt.Errorf("client: config %s: duplicate table %q", path, tc.Remote)
+		}
+		seen[tc.Remote] = true
+		if _, err := tc.Schema.Build(); err != nil {
+			return nil, fmt.Errorf("client: config %s: table %q: %w", path, tc.Remote, err)
+		}
+	}
+	return &c, nil
+}

@@ -1,0 +1,123 @@
+package client
+
+import (
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// TestDurableRestartEndToEnd exercises the whole stack across a simulated
+// crash: a durable server stores encrypted data; the server process and
+// client are torn down; a fresh server replays the log; a fresh client,
+// rebuilt from the same passphrase-derived config and the persisted root,
+// queries and verifies as if nothing happened.
+func TestDurableRestartEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "store.log")
+	master := crypto.KeyFromBytes([]byte("restart-pass"))
+	tc := TableConfig{Remote: "emp", Scheme: "swp-ph", Schema: SchemaConfigOf(empSchema())}
+
+	startServer := func() (*server.Server, net.Listener, *storage.Store) {
+		st, err := storage.Open(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(st, nil)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(l)
+		return srv, l, st
+	}
+
+	// --- First life: upload data, remember the root. -------------------
+	srv1, l1, st1 := startServer()
+	scheme1, err := tc.BuildScheme(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn1, err := Dial(l1.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db1 := NewDB(conn1, scheme1, "emp")
+	if err := db1.CreateTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	root, tuples := db1.Root()
+	if root == nil || tuples != 3 {
+		t.Fatalf("no root pinned after create (%v, %d)", root, tuples)
+	}
+	conn1.Close()
+	srv1.Close()
+	st1.Close()
+
+	// --- Second life: fresh everything but the log, passphrase, root. --
+	srv2, l2, st2 := startServer()
+	defer func() {
+		srv2.Close()
+		st2.Close()
+	}()
+	scheme2, err := tc.BuildScheme(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2, err := Dial(l2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	db2 := NewDB(conn2, scheme2, "emp")
+	db2.PinRoot(root, tuples)
+
+	got, err := db2.Select(relation.Eq{Column: "dept", Value: relation.String("HR")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("post-restart select returned %d tuples, want 2", got.Len())
+	}
+
+	// Tampering during the "downtime" must be caught by the persisted
+	// root: corrupt the stored ciphertext and re-query. Flipping the
+	// tuple IDs leaves the trapdoor search intact (so the query still
+	// returns tuples to verify) while breaking every leaf hash.
+	ct, err := st2.Get("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ct.Tuples {
+		ct.Tuples[i].ID[0] ^= 1
+	}
+	if err := st2.Put("emp", ct); err != nil {
+		t.Fatal(err)
+	}
+	_, err = db2.Select(relation.Eq{Column: "dept", Value: relation.String("HR")})
+	if err == nil || !strings.Contains(err.Error(), "verification") {
+		t.Fatalf("tampering after restart not detected: %v", err)
+	}
+}
+
+// TestPinRootDisable checks that un-pinning returns the client to
+// unverified mode.
+func TestPinRootDisable(t *testing.T) {
+	conn := startPipe(t, storage.NewMemory())
+	db := NewDB(conn, newScheme(t), "emp")
+	if err := db.CreateTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	db.PinRoot(nil, 0)
+	if root, _ := db.Root(); len(root) != 0 {
+		t.Fatal("root still pinned after disable")
+	}
+	if _, err := db.Select(relation.Eq{Column: "dept", Value: relation.String("HR")}); err != nil {
+		t.Fatalf("unverified select failed: %v", err)
+	}
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/swp"
+)
+
+// SchemeID is the evaluator-registry name of the paper's construction.
+const SchemeID = "swp-ph"
+
+// docIDLen is the length of the random per-tuple document identifier.
+const docIDLen = 16
+
+// Options tunes the construction.
+type Options struct {
+	// ChecksumLen is the SWP checksum width m in bytes; the per-slot
+	// false-positive probability is 2^(-8m). Zero selects
+	// DefaultChecksumLen. Columns too narrow for the requested width use
+	// the largest width they admit (wordLen-1).
+	ChecksumLen int
+	// PerColumnWidth enables the "attributes of variable length"
+	// optimisation the paper defers to its full version: words are padded
+	// to their own column's width instead of the global maximum.
+	// Ciphertext shrinks accordingly, at a documented leakage cost: the
+	// *length* of a cipherword then reveals which column it encodes
+	// (values are still padded within the column, so value lengths stay
+	// hidden). The default (false) is the paper's §3 layout.
+	PerColumnWidth bool
+}
+
+// DefaultChecksumLen (m = 2 bytes) gives a per-slot false-positive rate of
+// 2^-16 ≈ 1.5e-5, "relatively small for all practical purposes" (§3).
+const DefaultChecksumLen = 2
+
+// PH is the paper's database privacy homomorphism (K, E, Eq, D) over a fixed
+// relation schema, instantiated with the SWP searchable encryption scheme.
+// It implements ph.Scheme. A PH value holds secret keys and must stay on
+// Alex's side; everything it emits (ph.EncryptedTable, ph.EncryptedQuery) is
+// safe to hand to Eve.
+type PH struct {
+	layout  *layout
+	schemes map[int]*swp.Scheme // one SWP instance per distinct word length
+	meta    []byte
+}
+
+// New derives a PH instance for the schema from a master key. One SWP
+// instance is derived per distinct word length (a single one in the default
+// fixed layout), each under its own domain-separated subkey.
+func New(master crypto.Key, schema *relation.Schema, opts Options) (*PH, error) {
+	l, err := newLayout(schema, opts.PerColumnWidth)
+	if err != nil {
+		return nil, err
+	}
+	m := opts.ChecksumLen
+	if m == 0 {
+		m = DefaultChecksumLen
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("core: checksum length must be positive, got %d", m)
+	}
+	p := &PH{layout: l, schemes: make(map[int]*swp.Scheme)}
+	root := crypto.NewPRF(master)
+	for _, n := range l.wordLengths() {
+		params := swp.Params{WordLen: n, ChecksumLen: checksumFor(n, m)}
+		sub, err := swp.New(root.DeriveKey(fmt.Sprintf("core/len/%d", n), nil), params)
+		if err != nil {
+			return nil, err
+		}
+		p.schemes[n] = sub
+	}
+	p.meta = encodeMeta(p.params())
+	return p, nil
+}
+
+// checksumFor clamps the requested checksum width to what a word length
+// admits (SWP needs 1 <= m < n).
+func checksumFor(wordLen, m int) int {
+	if m >= wordLen {
+		return wordLen - 1
+	}
+	return m
+}
+
+// params collects the public per-length SWP parameters, sorted by word
+// length.
+func (p *PH) params() []swp.Params {
+	var out []swp.Params
+	for _, n := range p.layout.wordLengths() {
+		out = append(out, p.schemes[n].Params())
+	}
+	return out
+}
+
+// Name implements ph.Scheme.
+func (p *PH) Name() string { return SchemeID }
+
+// Schema implements ph.Scheme.
+func (p *PH) Schema() *relation.Schema { return p.layout.schema }
+
+// Params returns the public SWP parameters of the instance, one entry per
+// distinct word length (a single entry in the fixed layout).
+func (p *PH) Params() []swp.Params { return p.params() }
+
+// schemeForCol returns the SWP instance handling a column's words.
+func (p *PH) schemeForCol(col int) *swp.Scheme {
+	return p.schemes[p.layout.wordLenFor(col)]
+}
+
+// schemeForWord returns the SWP instance handling a cipherword, by length.
+func (p *PH) schemeForWord(w []byte) (*swp.Scheme, error) {
+	s, ok := p.schemes[len(w)]
+	if !ok {
+		return nil, fmt.Errorf("core: no scheme for word length %d", len(w))
+	}
+	return s, nil
+}
+
+// EncryptTable implements E of Definition 1.1: tuple-by-tuple encryption.
+// Each tuple becomes an SWP document under a fresh random document ID, with
+// the attribute words in a fresh random order (the paper models documents as
+// *sets* of words; randomising the order makes that literal). The tuples
+// themselves are also emitted in random order, so the ciphertext reveals
+// nothing about insertion order.
+func (p *PH) EncryptTable(t *relation.Table) (*ph.EncryptedTable, error) {
+	if !t.Schema().Equal(p.layout.schema) {
+		return nil, fmt.Errorf("core: table schema %q does not match instance schema %q",
+			t.Schema().Name, p.layout.schema.Name)
+	}
+	et := &ph.EncryptedTable{
+		SchemeID: SchemeID,
+		Meta:     append([]byte(nil), p.meta...),
+		Tuples:   make([]ph.EncryptedTuple, 0, t.Len()),
+	}
+	order, err := randomPerm(t.Len())
+	if err != nil {
+		return nil, err
+	}
+	for _, ti := range order {
+		etp, err := p.encryptTuple(t.Tuple(ti))
+		if err != nil {
+			return nil, err
+		}
+		et.Tuples = append(et.Tuples, etp)
+	}
+	return et, nil
+}
+
+// encryptTuple maps one tuple to its encrypted document.
+func (p *PH) encryptTuple(tp relation.Tuple) (ph.EncryptedTuple, error) {
+	docID := make([]byte, docIDLen)
+	if _, err := rand.Read(docID); err != nil {
+		return ph.EncryptedTuple{}, fmt.Errorf("core: drawing document id: %w", err)
+	}
+	perm, err := randomPerm(len(tp))
+	if err != nil {
+		return ph.EncryptedTuple{}, err
+	}
+	cipherwords := make([][]byte, len(tp))
+	for pos, col := range perm {
+		w, err := p.layout.makeWord(col, tp[col])
+		if err != nil {
+			return ph.EncryptedTuple{}, err
+		}
+		cw, err := p.schemeForCol(col).EncryptWord(docID, uint64(pos), w)
+		if err != nil {
+			return ph.EncryptedTuple{}, err
+		}
+		cipherwords[pos] = cw
+	}
+	return ph.EncryptedTuple{ID: docID, Words: cipherwords}, nil
+}
+
+// EncryptQuery implements Eq of Definition 1.1: the exact select
+// σ_attr:value becomes the SWP search ϕ_{value|pad|attr-id}.
+func (p *PH) EncryptQuery(q relation.Eq) (*ph.EncryptedQuery, error) {
+	if err := q.Validate(p.layout.schema); err != nil {
+		return nil, err
+	}
+	col := p.layout.schema.ColumnIndex(q.Column)
+	w, err := p.layout.makeWord(col, q.Value)
+	if err != nil {
+		return nil, err
+	}
+	td, err := p.schemeForCol(col).NewTrapdoor(w)
+	if err != nil {
+		return nil, err
+	}
+	return &ph.EncryptedQuery{SchemeID: SchemeID, Token: encodeTrapdoor(td)}, nil
+}
+
+// decryptTuple reconstructs a plaintext tuple from its encrypted document.
+func (p *PH) decryptTuple(etp ph.EncryptedTuple) (relation.Tuple, error) {
+	if len(etp.Words) != p.layout.schema.NumColumns() {
+		return nil, fmt.Errorf("core: document has %d words, schema has %d columns",
+			len(etp.Words), p.layout.schema.NumColumns())
+	}
+	tp := make(relation.Tuple, p.layout.schema.NumColumns())
+	seen := make([]bool, len(tp))
+	for pos, cw := range etp.Words {
+		s, err := p.schemeForWord(cw)
+		if err != nil {
+			return nil, err
+		}
+		w, err := s.DecryptWord(etp.ID, uint64(pos), cw)
+		if err != nil {
+			return nil, err
+		}
+		col, v, err := p.layout.parseWord(w)
+		if err != nil {
+			return nil, err
+		}
+		if seen[col] {
+			return nil, fmt.Errorf("core: document contains column %q twice", p.layout.schema.Columns[col].Name)
+		}
+		seen[col] = true
+		tp[col] = v
+	}
+	return tp, nil
+}
+
+// DecryptTable implements D of Definition 1.1 on whole tables.
+func (p *PH) DecryptTable(ct *ph.EncryptedTable) (*relation.Table, error) {
+	if ct.SchemeID != SchemeID {
+		return nil, fmt.Errorf("core: cannot decrypt table of scheme %q", ct.SchemeID)
+	}
+	t := relation.NewTable(p.layout.schema)
+	for i, etp := range ct.Tuples {
+		tp, err := p.decryptTuple(etp)
+		if err != nil {
+			return nil, fmt.Errorf("core: decrypting tuple %d: %w", i, err)
+		}
+		if err := t.Insert(tp); err != nil {
+			return nil, fmt.Errorf("core: decrypted tuple %d invalid: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// DecryptResult decrypts the server's answer to query q and filters false
+// positives by re-evaluating the plaintext predicate, exactly as §3
+// prescribes ("Alex needs to run a filter on the output").
+func (p *PH) DecryptResult(q relation.Eq, r *ph.Result) (*relation.Table, error) {
+	t := relation.NewTable(p.layout.schema)
+	for i, etp := range r.Tuples {
+		tp, err := p.decryptTuple(etp)
+		if err != nil {
+			return nil, fmt.Errorf("core: decrypting result tuple %d: %w", i, err)
+		}
+		ok, err := q.Eval(p.layout.schema, tp)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue // false positive from the SWP checksum; drop it
+		}
+		if err := t.Insert(tp); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Evaluate is ψ: the key-free server-side search. It is exported for direct
+// use and also registered as the package's ph.Evaluator. A tuple matches if
+// any of its cipherwords of the trapdoor's length matches the trapdoor.
+func Evaluate(et *ph.EncryptedTable, q *ph.EncryptedQuery) (*ph.Result, error) {
+	byLen, err := decodeMeta(et.Meta)
+	if err != nil {
+		return nil, err
+	}
+	td, params, err := decodeTrapdoor(byLen, q.Token)
+	if err != nil {
+		return nil, err
+	}
+	var positions []int
+	for i, etp := range et.Tuples {
+		for _, cw := range etp.Words {
+			if len(cw) == params.WordLen && swp.Match(params, cw, td) {
+				positions = append(positions, i)
+				break
+			}
+		}
+	}
+	return ph.SelectPositions(et, positions), nil
+}
+
+func init() {
+	ph.RegisterEvaluator(SchemeID, Evaluate)
+}
+
+// metaVersion tags the table-metadata encoding.
+const metaVersion = 2
+
+// encodeMeta serialises the public per-length SWP parameters carried on
+// every encrypted table: version, count, then (wordLen, checksumLen) pairs.
+func encodeMeta(params []swp.Params) []byte {
+	meta := make([]byte, 0, 2+4*len(params))
+	meta = append(meta, metaVersion)
+	meta = append(meta, byte(len(params)))
+	var u16 [2]byte
+	for _, p := range params {
+		binary.BigEndian.PutUint16(u16[:], uint16(p.WordLen))
+		meta = append(meta, u16[:]...)
+		binary.BigEndian.PutUint16(u16[:], uint16(p.ChecksumLen))
+		meta = append(meta, u16[:]...)
+	}
+	return meta
+}
+
+// decodeMeta parses table metadata into a word-length → parameters map.
+func decodeMeta(meta []byte) (map[int]swp.Params, error) {
+	if len(meta) < 2 {
+		return nil, fmt.Errorf("core: table meta of %d bytes too short", len(meta))
+	}
+	if meta[0] != metaVersion {
+		return nil, fmt.Errorf("core: unsupported table meta version %d", meta[0])
+	}
+	n := int(meta[1])
+	if len(meta) != 2+4*n {
+		return nil, fmt.Errorf("core: table meta of %d bytes does not hold %d parameter pairs", len(meta), n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("core: table meta declares no word lengths")
+	}
+	out := make(map[int]swp.Params, n)
+	for i := 0; i < n; i++ {
+		p := swp.Params{
+			WordLen:     int(binary.BigEndian.Uint16(meta[2+4*i:])),
+			ChecksumLen: int(binary.BigEndian.Uint16(meta[4+4*i:])),
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := out[p.WordLen]; dup {
+			return nil, fmt.Errorf("core: table meta repeats word length %d", p.WordLen)
+		}
+		out[p.WordLen] = p
+	}
+	return out, nil
+}
+
+// encodeTrapdoor serialises an SWP trapdoor as X || K; the X length is
+// recovered from the token length (K is fixed-size).
+func encodeTrapdoor(td swp.Trapdoor) []byte {
+	out := make([]byte, 0, len(td.X)+len(td.K))
+	out = append(out, td.X...)
+	return append(out, td.K...)
+}
+
+// decodeTrapdoor parses a serialised trapdoor and resolves its parameters
+// against the table's word lengths.
+func decodeTrapdoor(byLen map[int]swp.Params, token []byte) (swp.Trapdoor, swp.Params, error) {
+	xLen := len(token) - crypto.KeySize
+	if xLen < 2 {
+		return swp.Trapdoor{}, swp.Params{}, fmt.Errorf("core: trapdoor token of %d bytes too short", len(token))
+	}
+	params, ok := byLen[xLen]
+	if !ok {
+		return swp.Trapdoor{}, swp.Params{}, fmt.Errorf("core: trapdoor word length %d unknown to this table", xLen)
+	}
+	return swp.Trapdoor{X: token[:xLen], K: token[xLen:]}, params, nil
+}
+
+// randomPerm draws a uniformly random permutation of [0, n) using
+// crypto/rand (Fisher–Yates). Encryption-side randomness must not come from
+// a seedable generator, or ciphertext order would become a side channel.
+func randomPerm(n int) ([]int, error) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		jBig, err := rand.Int(rand.Reader, big.NewInt(int64(i+1)))
+		if err != nil {
+			return nil, fmt.Errorf("core: drawing permutation: %w", err)
+		}
+		j := int(jBig.Int64())
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm, nil
+}

@@ -1,0 +1,51 @@
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"fmt"
+	"io"
+)
+
+// Sealer wraps AES-256-GCM for the "strong cipher" the comparator schemes
+// (Hacıgümüş et al., Damiani et al.) apply to whole tuples before attaching
+// weak index attributes. Nonces are random and prepended to the ciphertext.
+type Sealer struct {
+	aead cipher.AEAD
+}
+
+// NewSealer constructs a Sealer with the given key.
+func NewSealer(key Key) (*Sealer, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypto: sealer: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: sealer: %w", err)
+	}
+	return &Sealer{aead: aead}, nil
+}
+
+// Seal encrypts and authenticates plaintext, returning nonce||ciphertext.
+func (s *Sealer) Seal(plaintext []byte) ([]byte, error) {
+	nonce := make([]byte, s.aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("crypto: sealing: %w", err)
+	}
+	return s.aead.Seal(nonce, nonce, plaintext, nil), nil
+}
+
+// Open decrypts nonce||ciphertext produced by Seal.
+func (s *Sealer) Open(sealed []byte) ([]byte, error) {
+	ns := s.aead.NonceSize()
+	if len(sealed) < ns {
+		return nil, fmt.Errorf("crypto: opening: ciphertext shorter than nonce (%d < %d)", len(sealed), ns)
+	}
+	pt, err := s.aead.Open(nil, sealed[:ns], sealed[ns:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: opening: %w", err)
+	}
+	return pt, nil
+}

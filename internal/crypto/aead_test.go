@@ -1,0 +1,77 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSealerRoundTrip(t *testing.T) {
+	s, err := NewSealer(testKey(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("the tuple bytes")
+	ct, err := s.Seal(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Open(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip: got %q want %q", got, pt)
+	}
+}
+
+func TestSealerProbabilistic(t *testing.T) {
+	s, _ := NewSealer(testKey(2))
+	a, _ := s.Seal([]byte("same"))
+	b, _ := s.Seal([]byte("same"))
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of the same plaintext are identical (nonce reuse?)")
+	}
+}
+
+func TestSealerTamperDetection(t *testing.T) {
+	s, _ := NewSealer(testKey(3))
+	ct, _ := s.Seal([]byte("payload"))
+	for i := range ct {
+		mangled := append([]byte(nil), ct...)
+		mangled[i] ^= 0x80
+		if _, err := s.Open(mangled); err == nil {
+			t.Fatalf("Open accepted ciphertext with byte %d flipped", i)
+		}
+	}
+}
+
+func TestSealerWrongKey(t *testing.T) {
+	s1, _ := NewSealer(testKey(4))
+	s2, _ := NewSealer(testKey(5))
+	ct, _ := s1.Seal([]byte("secret"))
+	if _, err := s2.Open(ct); err == nil {
+		t.Fatal("Open succeeded under the wrong key")
+	}
+}
+
+func TestSealerShortCiphertext(t *testing.T) {
+	s, _ := NewSealer(testKey(6))
+	if _, err := s.Open([]byte{1, 2, 3}); err == nil {
+		t.Fatal("Open accepted a ciphertext shorter than the nonce")
+	}
+}
+
+func TestSealerEmptyPlaintext(t *testing.T) {
+	s, _ := NewSealer(testKey(7))
+	ct, err := s.Seal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Open(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty plaintext round trip returned %d bytes", len(got))
+	}
+}

@@ -1,0 +1,66 @@
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// PRG is a seekable pseudorandom generator built from AES-256 in counter
+// mode. It plays the role of the stream generator G in the Song–Wagner–
+// Perrig scheme: Block(i, n) returns the i-th n-byte chunk of the keystream,
+// and chunks for different indices can be generated independently (needed
+// because decryption must regenerate the stream value S_i for arbitrary
+// word positions).
+type PRG struct {
+	block cipher.Block
+}
+
+// NewPRG constructs a PRG seeded with the given key.
+func NewPRG(seed Key) (*PRG, error) {
+	b, err := aes.NewCipher(seed[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypto: prg: %w", err)
+	}
+	return &PRG{block: b}, nil
+}
+
+// Block returns the chunk of n pseudorandom bytes at logical index i.
+// Chunks at distinct indices are computed from disjoint counter ranges, so
+// Block(i, n) never overlaps Block(j, n) for i != j as long as n is the same
+// across calls for a given PRG, which is how internal/swp uses it (n is the
+// per-scheme stream width).
+func (g *PRG) Block(i uint64, n int) []byte {
+	out := make([]byte, n)
+	var ctr [aes.BlockSize]byte
+	nBlocks := uint64((n + aes.BlockSize - 1) / aes.BlockSize)
+	base := i * nBlocks
+	var tmp [aes.BlockSize]byte
+	for b := uint64(0); b < nBlocks; b++ {
+		binary.BigEndian.PutUint64(ctr[8:], base+b)
+		g.block.Encrypt(tmp[:], ctr[:])
+		copy(out[b*aes.BlockSize:], tmp[:])
+	}
+	return out
+}
+
+// RandomKey draws a fresh uniformly random key from crypto/rand.
+func RandomKey() (Key, error) {
+	var k Key
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		return Key{}, fmt.Errorf("crypto: drawing random key: %w", err)
+	}
+	return k, nil
+}
+
+// RandomBytes draws n uniformly random bytes from crypto/rand.
+func RandomBytes(n int) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rand.Reader, b); err != nil {
+		return nil, fmt.Errorf("crypto: drawing random bytes: %w", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,208 @@
+// Package games implements the paper's security definitions as executable
+// Monte-Carlo games between a challenger (Alex) and an adversary (Eve).
+//
+// Definition 1.2 (classical indistinguishability) and Definition 2.1 (DBPH
+// indistinguishability with q observed/chosen encrypted queries, passive or
+// active) are both realised by the Def21 runner: Definition 1.2 is the
+// special case q = 0 applied to table encryption. The runner repeats the
+// game for a configured number of independent trials — fresh keys, fresh
+// challenge bit each time — and reports the adversary's empirical success
+// rate, from which the advantage 2·Pr[win] − 1 and confidence intervals
+// follow (internal/stats).
+//
+// The paper's Theorem 2.1 states that *every* database PH loses this game
+// for q > 0; internal/attacks provides the generic adversary realising the
+// theorem, and experiment E4 plots its advantage over q.
+package games
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// SchemeFactory creates a fresh scheme instance (fresh keys) over the given
+// schema. The game calls it once per trial, modelling Alex choosing a new
+// key for each game instance.
+type SchemeFactory func(schema *relation.Schema) (ph.Scheme, error)
+
+// IssuedQuery is one encrypted query the passive adversary observes,
+// together with the server-side result she can compute herself thanks to
+// the homomorphic property.
+type IssuedQuery struct {
+	// Encrypted is ψ = Eq_k(σ).
+	Encrypted *ph.EncryptedQuery
+	// Result is ψ applied to the challenge ciphertext.
+	Result *ph.Result
+}
+
+// Oracle is the query-encryption oracle available to an active adversary:
+// it returns the encryption of a chosen plaintext query. The runner
+// enforces the budget of q calls.
+type Oracle func(q relation.Eq) (*ph.EncryptedQuery, error)
+
+// Transcript is everything Eve sees in one game instance.
+type Transcript struct {
+	// Ciphertext is E_k(T_i), the challenge.
+	Ciphertext *ph.EncryptedTable
+	// Issued holds the q queries Alex issued (passive mode; empty in
+	// active mode or when q = 0).
+	Issued []IssuedQuery
+	// Oracle is the query-encryption oracle (active mode; nil otherwise).
+	Oracle Oracle
+	// Apply evaluates an encrypted query against the challenge
+	// ciphertext — public computation Eve can always perform.
+	Apply func(*ph.EncryptedQuery) (*ph.Result, error)
+}
+
+// Adversary plays the Definition 2.1 game.
+type Adversary interface {
+	// Name identifies the adversary in reports.
+	Name() string
+	// Choose produces the two challenge tables. They must have the same
+	// schema and the same number of tuples; the runner enforces this
+	// (step 1 of the definition).
+	Choose(rng *rand.Rand) (t0, t1 *relation.Table, err error)
+	// Guess inspects the transcript and returns Eve's guess, 0 or 1.
+	Guess(rng *rand.Rand, tr *Transcript) (int, error)
+}
+
+// Mode selects the adversary model of Definition 2.1.
+type Mode int
+
+const (
+	// Passive: Eve observes q queries issued by Alex.
+	Passive Mode = iota
+	// Active: Eve chooses up to q plaintext queries and receives their
+	// encryptions from the oracle.
+	Active
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	if m == Active {
+		return "active"
+	}
+	return "passive"
+}
+
+// Def21 configures one instance of the Definition 2.1 game. With Q = 0 it
+// degenerates to Definition 1.2 over table encryption.
+type Def21 struct {
+	// Factory creates the scheme under attack with fresh keys.
+	Factory SchemeFactory
+	// Q is the query budget q of the definition.
+	Q int
+	// Mode selects passive or active.
+	Mode Mode
+	// AlexQueries are the plaintext queries Alex issues in passive mode,
+	// in order; at most Q of them are used. They model the application's
+	// query stream, which the paper assumes Eve knows the distribution of.
+	AlexQueries []relation.Eq
+}
+
+// Run plays the game for the given number of trials with a deterministic
+// seed and returns the adversary's win statistics.
+func (g Def21) Run(adv Adversary, trials int, seed int64) (stats.Binomial, error) {
+	if g.Factory == nil {
+		return stats.Binomial{}, fmt.Errorf("games: Def21 needs a scheme factory")
+	}
+	if trials <= 0 {
+		return stats.Binomial{}, fmt.Errorf("games: trial count must be positive, got %d", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var wins int
+	for trial := 0; trial < trials; trial++ {
+		win, err := g.playOnce(adv, rng)
+		if err != nil {
+			return stats.Binomial{}, fmt.Errorf("games: trial %d: %w", trial, err)
+		}
+		if win {
+			wins++
+		}
+	}
+	return stats.Binomial{Wins: wins, Trials: trials}, nil
+}
+
+// playOnce runs a single game instance.
+func (g Def21) playOnce(adv Adversary, rng *rand.Rand) (bool, error) {
+	// Step 1: Eve chooses two tables of the same cardinality.
+	t0, t1, err := adv.Choose(rng)
+	if err != nil {
+		return false, fmt.Errorf("adversary %s choosing tables: %w", adv.Name(), err)
+	}
+	if !t0.Schema().Equal(t1.Schema()) {
+		return false, fmt.Errorf("adversary %s chose tables with different schemas", adv.Name())
+	}
+	if t0.Len() != t1.Len() {
+		return false, fmt.Errorf("adversary %s chose tables with different cardinalities (%d vs %d)",
+			adv.Name(), t0.Len(), t1.Len())
+	}
+	// Step 2: Alex draws a key, flips the challenge bit and encrypts.
+	scheme, err := g.Factory(t0.Schema())
+	if err != nil {
+		return false, fmt.Errorf("creating scheme: %w", err)
+	}
+	challenge := rng.Intn(2)
+	table := t0
+	if challenge == 1 {
+		table = t1
+	}
+	ct, err := scheme.EncryptTable(table)
+	if err != nil {
+		return false, fmt.Errorf("encrypting challenge table: %w", err)
+	}
+	// Step 3: queries, per the adversary model.
+	tr := &Transcript{
+		Ciphertext: ct,
+		Apply: func(eq *ph.EncryptedQuery) (*ph.Result, error) {
+			return ph.Apply(ct, eq)
+		},
+	}
+	switch g.Mode {
+	case Passive:
+		n := len(g.AlexQueries)
+		if n > g.Q {
+			n = g.Q
+		}
+		for _, q := range g.AlexQueries[:n] {
+			eq, err := scheme.EncryptQuery(q)
+			if err != nil {
+				return false, fmt.Errorf("encrypting Alex query %s: %w", q, err)
+			}
+			res, err := ph.Apply(ct, eq)
+			if err != nil {
+				return false, fmt.Errorf("applying Alex query %s: %w", q, err)
+			}
+			tr.Issued = append(tr.Issued, IssuedQuery{Encrypted: eq, Result: res})
+		}
+	case Active:
+		// With q = 0 the oracle grants nothing; leaving it nil lets
+		// adversaries distinguish "no oracle access" without relying on
+		// call errors.
+		if g.Q > 0 {
+			budget := g.Q
+			tr.Oracle = func(q relation.Eq) (*ph.EncryptedQuery, error) {
+				if budget <= 0 {
+					return nil, fmt.Errorf("games: oracle budget of %d queries exhausted", g.Q)
+				}
+				budget--
+				return scheme.EncryptQuery(q)
+			}
+		}
+	default:
+		return false, fmt.Errorf("games: unknown mode %d", g.Mode)
+	}
+	// Step 4: Eve guesses.
+	guess, err := adv.Guess(rng, tr)
+	if err != nil {
+		return false, fmt.Errorf("adversary %s guessing: %w", adv.Name(), err)
+	}
+	if guess != 0 && guess != 1 {
+		return false, fmt.Errorf("adversary %s returned invalid guess %d", adv.Name(), guess)
+	}
+	return guess == challenge, nil
+}

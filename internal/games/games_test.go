@@ -1,0 +1,240 @@
+package games
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+)
+
+// coreFactory builds the paper's scheme with fresh keys.
+func coreFactory(s *relation.Schema) (ph.Scheme, error) {
+	key, err := crypto.RandomKey()
+	if err != nil {
+		return nil, err
+	}
+	return core.New(key, s, core.Options{})
+}
+
+func pairSchema() *relation.Schema {
+	return relation.MustSchema("t",
+		relation.Column{Name: "a", Type: relation.TypeString, Width: 4},
+	)
+}
+
+// pairAdversary is a configurable test adversary.
+type pairAdversary struct {
+	choose func(*rand.Rand) (*relation.Table, *relation.Table, error)
+	guess  func(*rand.Rand, *Transcript) (int, error)
+}
+
+func (a pairAdversary) Name() string { return "test" }
+func (a pairAdversary) Choose(r *rand.Rand) (*relation.Table, *relation.Table, error) {
+	return a.choose(r)
+}
+func (a pairAdversary) Guess(r *rand.Rand, tr *Transcript) (int, error) { return a.guess(r, tr) }
+
+func defaultChoose(*rand.Rand) (*relation.Table, *relation.Table, error) {
+	t0 := relation.NewTable(pairSchema())
+	t0.MustInsert(relation.String("aaaa"))
+	t1 := relation.NewTable(pairSchema())
+	t1.MustInsert(relation.String("bbbb"))
+	return t0, t1, nil
+}
+
+func TestBlindGuesserWinsHalf(t *testing.T) {
+	g := Def21{Factory: coreFactory, Q: 0, Mode: Passive}
+	adv := pairAdversary{
+		choose: defaultChoose,
+		guess:  func(r *rand.Rand, _ *Transcript) (int, error) { return r.Intn(2), nil },
+	}
+	res, err := g.Run(adv, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate() < 0.38 || res.Rate() > 0.62 {
+		t.Fatalf("blind guesser win rate %v far from 0.5", res.Rate())
+	}
+}
+
+func TestConstantGuesserWinsHalf(t *testing.T) {
+	// The challenge bit is uniform, so a constant guess wins half.
+	g := Def21{Factory: coreFactory, Q: 0, Mode: Passive}
+	adv := pairAdversary{
+		choose: defaultChoose,
+		guess:  func(*rand.Rand, *Transcript) (int, error) { return 0, nil },
+	}
+	res, err := g.Run(adv, 400, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate() < 0.38 || res.Rate() > 0.62 {
+		t.Fatalf("constant guesser win rate %v far from 0.5", res.Rate())
+	}
+}
+
+func TestCardinalityMismatchRejected(t *testing.T) {
+	g := Def21{Factory: coreFactory, Q: 0, Mode: Passive}
+	adv := pairAdversary{
+		choose: func(*rand.Rand) (*relation.Table, *relation.Table, error) {
+			t0 := relation.NewTable(pairSchema())
+			t0.MustInsert(relation.String("a"))
+			t1 := relation.NewTable(pairSchema()) // empty: different cardinality
+			return t0, t1, nil
+		},
+		guess: func(*rand.Rand, *Transcript) (int, error) { return 0, nil },
+	}
+	if _, err := g.Run(adv, 1, 1); err == nil {
+		t.Fatal("tables of different cardinality accepted — Definition 2.1 step 1 violated")
+	}
+}
+
+func TestSchemaMismatchRejected(t *testing.T) {
+	g := Def21{Factory: coreFactory, Q: 0, Mode: Passive}
+	adv := pairAdversary{
+		choose: func(*rand.Rand) (*relation.Table, *relation.Table, error) {
+			t0 := relation.NewTable(pairSchema())
+			t0.MustInsert(relation.String("a"))
+			other := relation.MustSchema("u", relation.Column{Name: "b", Type: relation.TypeString, Width: 4})
+			t1 := relation.NewTable(other)
+			t1.MustInsert(relation.String("b"))
+			return t0, t1, nil
+		},
+		guess: func(*rand.Rand, *Transcript) (int, error) { return 0, nil },
+	}
+	if _, err := g.Run(adv, 1, 1); err == nil {
+		t.Fatal("tables over different schemas accepted")
+	}
+}
+
+func TestInvalidGuessRejected(t *testing.T) {
+	g := Def21{Factory: coreFactory, Q: 0, Mode: Passive}
+	adv := pairAdversary{
+		choose: defaultChoose,
+		guess:  func(*rand.Rand, *Transcript) (int, error) { return 2, nil },
+	}
+	if _, err := g.Run(adv, 1, 1); err == nil {
+		t.Fatal("out-of-range guess accepted")
+	}
+}
+
+func TestOracleBudgetEnforced(t *testing.T) {
+	g := Def21{Factory: coreFactory, Q: 2, Mode: Active}
+	calls := 0
+	adv := pairAdversary{
+		choose: defaultChoose,
+		guess: func(r *rand.Rand, tr *Transcript) (int, error) {
+			if tr.Oracle == nil {
+				return 0, fmt.Errorf("no oracle in active mode with q=2")
+			}
+			q := relation.Eq{Column: "a", Value: relation.String("aaaa")}
+			for i := 0; i < 3; i++ {
+				if _, err := tr.Oracle(q); err != nil {
+					if i != 2 {
+						return 0, fmt.Errorf("oracle refused call %d of budget 2", i+1)
+					}
+					calls = i
+					return 0, nil // third call correctly refused
+				}
+			}
+			return 0, fmt.Errorf("oracle allowed 3 calls with budget 2")
+		},
+	}
+	if _, err := g.Run(adv, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("oracle allowed %d calls, want 2", calls)
+	}
+}
+
+func TestActiveQZeroHasNoOracle(t *testing.T) {
+	g := Def21{Factory: coreFactory, Q: 0, Mode: Active}
+	adv := pairAdversary{
+		choose: defaultChoose,
+		guess: func(r *rand.Rand, tr *Transcript) (int, error) {
+			if tr.Oracle != nil {
+				return 0, fmt.Errorf("oracle present with q=0")
+			}
+			return r.Intn(2), nil
+		},
+	}
+	if _, err := g.Run(adv, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassiveQueriesLimitedToQ(t *testing.T) {
+	q := relation.Eq{Column: "a", Value: relation.String("aaaa")}
+	g := Def21{
+		Factory:     coreFactory,
+		Q:           2,
+		Mode:        Passive,
+		AlexQueries: []relation.Eq{q, q, q, q},
+	}
+	adv := pairAdversary{
+		choose: defaultChoose,
+		guess: func(r *rand.Rand, tr *Transcript) (int, error) {
+			if len(tr.Issued) != 2 {
+				return 0, fmt.Errorf("observed %d queries, budget is 2", len(tr.Issued))
+			}
+			return r.Intn(2), nil
+		},
+	}
+	if _, err := g.Run(adv, 3, 11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranscriptApplyWorks(t *testing.T) {
+	// The homomorphic property must be available to the adversary: Apply
+	// on an oracle-encrypted query returns the matching positions.
+	g := Def21{Factory: coreFactory, Q: 1, Mode: Active}
+	adv := pairAdversary{
+		choose: defaultChoose,
+		guess: func(r *rand.Rand, tr *Transcript) (int, error) {
+			eq, err := tr.Oracle(relation.Eq{Column: "a", Value: relation.String("aaaa")})
+			if err != nil {
+				return 0, err
+			}
+			res, err := tr.Apply(eq)
+			if err != nil {
+				return 0, err
+			}
+			if len(res.Positions) > 0 {
+				return 0, nil // "aaaa" present: table 0
+			}
+			return 1, nil
+		},
+	}
+	res, err := g.Run(adv, 50, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rate() < 0.95 {
+		t.Fatalf("homomorphism-using adversary should win (Theorem 2.1): rate %v", res.Rate())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	adv := pairAdversary{
+		choose: defaultChoose,
+		guess:  func(r *rand.Rand, _ *Transcript) (int, error) { return 0, nil },
+	}
+	if _, err := (Def21{Q: 0}).Run(adv, 10, 1); err == nil {
+		t.Fatal("missing factory accepted")
+	}
+	if _, err := (Def21{Factory: coreFactory}).Run(adv, 0, 1); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Passive.String() != "passive" || Active.String() != "active" {
+		t.Fatal("Mode.String wrong")
+	}
+}

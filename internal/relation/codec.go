@@ -1,0 +1,227 @@
+package relation
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary encoding of schemas, values, tuples and tables. The format is a
+// compact length-prefixed layout used by three consumers: the comparator
+// schemes (which seal whole encoded tuples with an AEAD), the wire protocol
+// (client/server), and the storage log.
+//
+// Layout (all integers big-endian):
+//
+//	value : type:u8 | len:u32 | payload        (payload = raw string / decimal)
+//	tuple : nvals:u16 | value*
+//	column: nameLen:u16 | name | type:u8 | width:u32
+//	schema: nameLen:u16 | name | ncols:u16 | column*
+//	table : schema | ntuples:u32 | tuple*
+
+// AppendValue appends the binary encoding of v to dst.
+func AppendValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.Type()))
+	enc := v.Encode()
+	var len4 [4]byte
+	binary.BigEndian.PutUint32(len4[:], uint32(len(enc)))
+	dst = append(dst, len4[:]...)
+	return append(dst, enc...)
+}
+
+// readValue decodes one value from r.
+func readValue(r *bytes.Reader) (Value, error) {
+	tb, err := r.ReadByte()
+	if err != nil {
+		return Value{}, fmt.Errorf("relation: decoding value type: %w", err)
+	}
+	var len4 [4]byte
+	if _, err := io.ReadFull(r, len4[:]); err != nil {
+		return Value{}, fmt.Errorf("relation: decoding value length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(len4[:])
+	if uint64(n) > uint64(r.Len()) {
+		return Value{}, fmt.Errorf("relation: value length %d exceeds remaining input %d", n, r.Len())
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Value{}, fmt.Errorf("relation: decoding value payload: %w", err)
+	}
+	switch Type(tb) {
+	case TypeString:
+		return String(string(payload)), nil
+	case TypeInt:
+		var i int64
+		if _, err := fmt.Sscanf(string(payload), "%d", &i); err != nil {
+			return Value{}, fmt.Errorf("relation: decoding int payload %q: %w", payload, err)
+		}
+		return Int(i), nil
+	default:
+		return Value{}, fmt.Errorf("relation: unknown value type %d", tb)
+	}
+}
+
+// EncodeTuple returns the binary encoding of a tuple.
+func EncodeTuple(t Tuple) []byte {
+	var dst []byte
+	var n2 [2]byte
+	binary.BigEndian.PutUint16(n2[:], uint16(len(t)))
+	dst = append(dst, n2[:]...)
+	for _, v := range t {
+		dst = AppendValue(dst, v)
+	}
+	return dst
+}
+
+// DecodeTuple parses a tuple from its binary encoding.
+func DecodeTuple(b []byte) (Tuple, error) {
+	r := bytes.NewReader(b)
+	t, err := readTuple(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("relation: %d trailing bytes after tuple", r.Len())
+	}
+	return t, nil
+}
+
+func readTuple(r *bytes.Reader) (Tuple, error) {
+	var n2 [2]byte
+	if _, err := io.ReadFull(r, n2[:]); err != nil {
+		return nil, fmt.Errorf("relation: decoding tuple arity: %w", err)
+	}
+	n := binary.BigEndian.Uint16(n2[:])
+	t := make(Tuple, n)
+	for i := range t {
+		v, err := readValue(r)
+		if err != nil {
+			return nil, fmt.Errorf("relation: decoding tuple value %d: %w", i, err)
+		}
+		t[i] = v
+	}
+	return t, nil
+}
+
+// EncodeSchema returns the binary encoding of a schema.
+func EncodeSchema(s *Schema) []byte {
+	var dst []byte
+	dst = appendString16(dst, s.Name)
+	var n2 [2]byte
+	binary.BigEndian.PutUint16(n2[:], uint16(len(s.Columns)))
+	dst = append(dst, n2[:]...)
+	for _, c := range s.Columns {
+		dst = appendString16(dst, c.Name)
+		dst = append(dst, byte(c.Type))
+		var w4 [4]byte
+		binary.BigEndian.PutUint32(w4[:], uint32(c.Width))
+		dst = append(dst, w4[:]...)
+	}
+	return dst
+}
+
+// DecodeSchema parses a schema from its binary encoding.
+func DecodeSchema(b []byte) (*Schema, error) {
+	r := bytes.NewReader(b)
+	s, err := readSchema(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("relation: %d trailing bytes after schema", r.Len())
+	}
+	return s, nil
+}
+
+func readSchema(r *bytes.Reader) (*Schema, error) {
+	name, err := readString16(r)
+	if err != nil {
+		return nil, fmt.Errorf("relation: decoding schema name: %w", err)
+	}
+	var n2 [2]byte
+	if _, err := io.ReadFull(r, n2[:]); err != nil {
+		return nil, fmt.Errorf("relation: decoding column count: %w", err)
+	}
+	n := binary.BigEndian.Uint16(n2[:])
+	cols := make([]Column, n)
+	for i := range cols {
+		cname, err := readString16(r)
+		if err != nil {
+			return nil, fmt.Errorf("relation: decoding column %d name: %w", i, err)
+		}
+		tb, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("relation: decoding column %d type: %w", i, err)
+		}
+		var w4 [4]byte
+		if _, err := io.ReadFull(r, w4[:]); err != nil {
+			return nil, fmt.Errorf("relation: decoding column %d width: %w", i, err)
+		}
+		cols[i] = Column{Name: cname, Type: Type(tb), Width: int(binary.BigEndian.Uint32(w4[:]))}
+	}
+	return NewSchema(name, cols...)
+}
+
+// EncodeTable returns the binary encoding of a table (schema + tuples).
+func EncodeTable(t *Table) []byte {
+	dst := EncodeSchema(t.Schema())
+	var n4 [4]byte
+	binary.BigEndian.PutUint32(n4[:], uint32(t.Len()))
+	dst = append(dst, n4[:]...)
+	for _, tp := range t.Tuples() {
+		dst = append(dst, EncodeTuple(tp)...)
+	}
+	return dst
+}
+
+// DecodeTable parses a table from its binary encoding.
+func DecodeTable(b []byte) (*Table, error) {
+	r := bytes.NewReader(b)
+	s, err := readSchema(r)
+	if err != nil {
+		return nil, err
+	}
+	var n4 [4]byte
+	if _, err := io.ReadFull(r, n4[:]); err != nil {
+		return nil, fmt.Errorf("relation: decoding tuple count: %w", err)
+	}
+	n := binary.BigEndian.Uint32(n4[:])
+	t := NewTable(s)
+	for i := uint32(0); i < n; i++ {
+		tp, err := readTuple(r)
+		if err != nil {
+			return nil, fmt.Errorf("relation: decoding tuple %d: %w", i, err)
+		}
+		if err := t.Insert(tp); err != nil {
+			return nil, err
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("relation: %d trailing bytes after table", r.Len())
+	}
+	return t, nil
+}
+
+func appendString16(dst []byte, s string) []byte {
+	var n2 [2]byte
+	binary.BigEndian.PutUint16(n2[:], uint16(len(s)))
+	dst = append(dst, n2[:]...)
+	return append(dst, s...)
+}
+
+func readString16(r *bytes.Reader) (string, error) {
+	var n2 [2]byte
+	if _, err := io.ReadFull(r, n2[:]); err != nil {
+		return "", err
+	}
+	n := binary.BigEndian.Uint16(n2[:])
+	if int(n) > r.Len() {
+		return "", fmt.Errorf("relation: string length %d exceeds remaining input %d", n, r.Len())
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,106 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleCodecRoundTrip(t *testing.T) {
+	tp := Tuple{String("hello"), Int(-42), String(""), Int(0)}
+	got, err := DecodeTuple(EncodeTuple(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tp) {
+		t.Fatalf("round trip: got %v want %v", got, tp)
+	}
+}
+
+func TestTupleCodecProperty(t *testing.T) {
+	f := func(s1, s2 string, i1, i2 int64) bool {
+		tp := Tuple{String(s1), Int(i1), String(s2), Int(i2)}
+		got, err := DecodeTuple(EncodeTuple(tp))
+		return err == nil && got.Equal(tp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTupleCodecRejectsTrailingGarbage(t *testing.T) {
+	b := EncodeTuple(Tuple{Int(1)})
+	if _, err := DecodeTuple(append(b, 0xAA)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestTupleCodecRejectsTruncation(t *testing.T) {
+	b := EncodeTuple(Tuple{String("hello"), Int(7)})
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := DecodeTuple(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestTupleCodecRejectsOversizedLength(t *testing.T) {
+	// A declared payload length far beyond the input must error, not
+	// allocate or panic.
+	b := []byte{0x00, 0x01, byte(TypeString), 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := DecodeTuple(b); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+}
+
+func TestSchemaCodecRoundTrip(t *testing.T) {
+	s := MustSchema("emp",
+		Column{Name: "name", Type: TypeString, Width: 10},
+		Column{Name: "salary", Type: TypeInt, Width: 5},
+	)
+	got, err := DecodeSchema(EncodeSchema(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatalf("round trip: got %v want %v", got, s)
+	}
+}
+
+func TestSchemaCodecRejectsInvalid(t *testing.T) {
+	// Decoding must re-validate: a zero-width column is rejected.
+	s := &Schema{Name: "t", Columns: []Column{{Name: "a", Type: TypeString, Width: 0}}}
+	if _, err := DecodeSchema(EncodeSchema(s)); err == nil {
+		t.Fatal("invalid schema decoded without error")
+	}
+}
+
+func TestTableCodecRoundTrip(t *testing.T) {
+	tab := empTestTable()
+	got, err := DecodeTable(EncodeTable(tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tab) {
+		t.Fatalf("round trip failed:\n%v\nvs\n%v", got, tab)
+	}
+}
+
+func TestTableCodecEmptyTable(t *testing.T) {
+	tab := NewTable(empTestSchema())
+	got, err := DecodeTable(EncodeTable(tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || !got.Schema().Equal(tab.Schema()) {
+		t.Fatal("empty table round trip failed")
+	}
+}
+
+func TestTableCodecRejectsTruncation(t *testing.T) {
+	b := EncodeTable(empTestTable())
+	for _, cut := range []int{1, len(b) / 2, len(b) - 1} {
+		if _, err := DecodeTable(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

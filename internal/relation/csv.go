@@ -1,0 +1,145 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV interchange for plaintext tables. The header row carries typed
+// columns as "name:type[:width]"; when width is omitted it is inferred as
+// the widest value in the file (at least 1). This is the import path for
+// real data into the outsourcing client — everything stays client-side,
+// the server only ever sees the encrypted form.
+//
+//	name:string:10,dept:string:5,salary:int:5
+//	Montgomery,HR,7500
+//	Ada,IT,9100
+
+// ReadCSV parses a typed CSV stream into a table named tableName.
+func ReadCSV(r io.Reader, tableName string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated against the header below
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("relation: csv has no header row")
+	}
+	header := records[0]
+	type colSpec struct {
+		name  string
+		typ   Type
+		width int // 0 = infer
+	}
+	specs := make([]colSpec, len(header))
+	for i, h := range header {
+		parts := strings.Split(strings.TrimSpace(h), ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("relation: csv header %q is not name:type[:width]", h)
+		}
+		spec := colSpec{name: parts[0]}
+		switch parts[1] {
+		case "string":
+			spec.typ = TypeString
+		case "int":
+			spec.typ = TypeInt
+		default:
+			return nil, fmt.Errorf("relation: csv header %q has unknown type %q", h, parts[1])
+		}
+		if len(parts) == 3 {
+			w, err := strconv.Atoi(parts[2])
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("relation: csv header %q has invalid width %q", h, parts[2])
+			}
+			spec.width = w
+		}
+		specs[i] = spec
+	}
+	// Infer missing widths from the data.
+	for i := range specs {
+		if specs[i].width > 0 {
+			continue
+		}
+		w := 1
+		for _, rec := range records[1:] {
+			if i < len(rec) && len(rec[i]) > w {
+				w = len(rec[i])
+			}
+		}
+		specs[i].width = w
+	}
+	cols := make([]Column, len(specs))
+	for i, s := range specs {
+		cols[i] = Column{Name: s.name, Type: s.typ, Width: s.width}
+	}
+	schema, err := NewSchema(tableName, cols...)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(schema)
+	for ri, rec := range records[1:] {
+		if len(rec) != len(cols) {
+			return nil, fmt.Errorf("relation: csv row %d has %d fields, header has %d", ri+2, len(rec), len(cols))
+		}
+		tp := make(Tuple, len(rec))
+		for i, field := range rec {
+			switch cols[i].Type {
+			case TypeInt:
+				v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relation: csv row %d column %q: %w", ri+2, cols[i].Name, err)
+				}
+				tp[i] = Int(v)
+			default:
+				tp[i] = String(field)
+			}
+		}
+		if err := t.Insert(tp); err != nil {
+			return nil, fmt.Errorf("relation: csv row %d: %w", ri+2, err)
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table in the same typed-header format ReadCSV reads.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.Schema().NumColumns())
+	for i, c := range t.Schema().Columns {
+		header[i] = fmt.Sprintf("%s:%s:%d", c.Name, c.Type, c.Width)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("relation: writing csv header: %w", err)
+	}
+	for _, tp := range t.Tuples() {
+		rec := make([]string, len(tp))
+		for i, v := range tp {
+			rec[i] = v.Encode()
+		}
+		// encoding/csv writes a single empty field as a blank line, which
+		// its reader then skips; force quotes so the row survives the
+		// round trip.
+		if len(rec) == 1 && rec[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return fmt.Errorf("relation: flushing csv: %w", err)
+			}
+			if _, err := io.WriteString(w, "\"\"\n"); err != nil {
+				return fmt.Errorf("relation: writing csv row: %w", err)
+			}
+			continue
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("relation: flushing csv: %w", err)
+	}
+	return nil
+}

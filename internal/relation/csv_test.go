@@ -1,0 +1,98 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const csvSample = `name:string:10,dept:string:5,salary:int:5
+Montgomery,HR,7500
+Ada,IT,9100
+`
+
+func TestReadCSV(t *testing.T) {
+	tab, err := ReadCSV(strings.NewReader(csvSample), "emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("read %d tuples", tab.Len())
+	}
+	if tab.Schema().Name != "emp" || tab.Schema().NumColumns() != 3 {
+		t.Fatalf("schema: %v", tab.Schema())
+	}
+	c, _ := tab.Schema().Column("salary")
+	if c.Type != TypeInt || c.Width != 5 {
+		t.Fatalf("salary column: %+v", c)
+	}
+	if tab.Tuple(1)[2].Integer() != 9100 {
+		t.Fatalf("tuple 1: %v", tab.Tuple(1))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab, err := ReadCSV(strings.NewReader(csvSample), "emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(tab) {
+		t.Fatalf("round trip changed the table:\n%v\nvs\n%v", back, tab)
+	}
+}
+
+func TestReadCSVWidthInference(t *testing.T) {
+	in := "name:string,salary:int\nMontgomery,7500\nJo,42\n"
+	tab, err := ReadCSV(strings.NewReader(in), "emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := tab.Schema().Column("name")
+	if c.Width != 10 {
+		t.Fatalf("inferred name width = %d, want 10", c.Width)
+	}
+	c, _ = tab.Schema().Column("salary")
+	if c.Width != 4 {
+		t.Fatalf("inferred salary width = %d, want 4", c.Width)
+	}
+}
+
+func TestReadCSVQuotedComma(t *testing.T) {
+	in := "note:string:20\n\"hello, world\"\n"
+	tab, err := ReadCSV(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Tuple(0)[0].Str() != "hello, world" {
+		t.Fatalf("quoted field: %q", tab.Tuple(0)[0].Str())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "justaname\nx\n"},
+		{"bad type", "a:float:3\n1.5\n"},
+		{"bad width", "a:string:zero\nx\n"},
+		{"negative width", "a:string:-1\nx\n"},
+		{"arity mismatch", "a:string:3,b:int:3\nonly\n"},
+		{"non-numeric int", "a:int:3\nxyz\n"},
+		{"overflow", "a:string:2\ntoolong\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), "t"); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randTable builds a small random two-column table.
+func propTable(rng *rand.Rand, rows int) *Table {
+	s := MustSchema("t",
+		Column{Name: "a", Type: TypeString, Width: 3},
+		Column{Name: "n", Type: TypeInt, Width: 2},
+	)
+	t := NewTable(s)
+	letters := []string{"x", "y", "z", "xy", ""}
+	for i := 0; i < rows; i++ {
+		t.MustInsert(String(letters[rng.Intn(len(letters))]), Int(rng.Int63n(10)))
+	}
+	return t
+}
+
+// Property: selects commute — σ_p(σ_q(T)) = σ_q(σ_p(T)).
+func TestPropertySelectsCommute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := propTable(rng, rng.Intn(20))
+		p := Eq{Column: "a", Value: String("x")}
+		q := Eq{Column: "n", Value: Int(rng.Int63n(10))}
+		pq1, err := Select(tab, p)
+		if err != nil {
+			return false
+		}
+		pq1, err = Select(pq1, q)
+		if err != nil {
+			return false
+		}
+		pq2, err := Select(tab, q)
+		if err != nil {
+			return false
+		}
+		pq2, err = Select(pq2, p)
+		if err != nil {
+			return false
+		}
+		return pq1.Equal(pq2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a conjunction equals the intersection of its conjuncts'
+// results — the identity the client-side SQL executor relies on.
+func TestPropertyConjunctionIsIntersection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := propTable(rng, rng.Intn(25))
+		p := Eq{Column: "a", Value: String("y")}
+		q := Eq{Column: "n", Value: Int(rng.Int63n(10))}
+		both, err := Select(tab, And{Preds: []Pred{p, q}})
+		if err != nil {
+			return false
+		}
+		rp, err := Select(tab, p)
+		if err != nil {
+			return false
+		}
+		rq, err := Select(tab, q)
+		if err != nil {
+			return false
+		}
+		inter, err := Intersect(rp, rq)
+		if err != nil {
+			return false
+		}
+		return both.Equal(inter)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: selection is idempotent — σ_p(σ_p(T)) = σ_p(T).
+func TestPropertySelectIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := propTable(rng, rng.Intn(20))
+		p := Eq{Column: "a", Value: String("z")}
+		once, err := Select(tab, p)
+		if err != nil {
+			return false
+		}
+		twice, err := Select(once, p)
+		if err != nil {
+			return false
+		}
+		return once.Equal(twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: intersection is commutative on multisets.
+func TestPropertyIntersectCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := propTable(rng, rng.Intn(15))
+		b := propTable(rng, rng.Intn(15))
+		ab, err := Intersect(a, b)
+		if err != nil {
+			return false
+		}
+		ba, err := Intersect(b, a)
+		if err != nil {
+			return false
+		}
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: table binary codec round trip on random tables.
+func TestPropertyTableCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := propTable(rng, rng.Intn(20))
+		back, err := DecodeTable(EncodeTable(tab))
+		if err != nil {
+			return false
+		}
+		return back.Equal(tab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Equal is symmetric and Clone preserves equality.
+func TestPropertyEqualCloneLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := propTable(rng, rng.Intn(12))
+		b := propTable(rng, rng.Intn(12))
+		if a.Equal(b) != b.Equal(a) {
+			return false
+		}
+		return a.Equal(a.Clone()) && a.Clone().Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

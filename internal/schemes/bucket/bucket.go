@@ -1,0 +1,157 @@
+// Package bucket reimplements the bucketization scheme of Hacıgümüş, Iyer,
+// Li and Mehrotra, "Executing SQL over Encrypted Data in the
+// Database-Service-Provider Model" (SIGMOD 2002) — reference [4] of the
+// paper and the main target of its §1 distinguishing attack.
+//
+// Integer attribute values are mapped to one of B equal-width intervals of
+// the column's declared domain; the interval identifier is then encrypted
+// under a secret permutation (realised as a PRF — indistinguishable from a
+// random injective relabelling at these sizes). String values are
+// partitioned by a keyed hash into B buckets, which is a random B-way domain
+// partition. Two plaintexts in the same interval receive the same label;
+// two plaintexts in different intervals receive different labels — the
+// determinism the paper's adversary exploits with its two salary tables.
+package bucket
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/schemes/indexed"
+)
+
+// SchemeID is the evaluator-registry name of the bucketization scheme.
+const SchemeID = "bucket"
+
+// labelLen is the byte length of the permuted interval labels.
+const labelLen = 8
+
+// Domain declares the value range [Min, Max] of an integer column, needed
+// to partition it into equal-width intervals.
+type Domain struct {
+	// Min is the smallest admissible value.
+	Min int64
+	// Max is the largest admissible value, Max >= Min.
+	Max int64
+}
+
+// width returns the number of values in the domain.
+func (d Domain) width() uint64 {
+	return uint64(d.Max-d.Min) + 1
+}
+
+// Options configures the scheme.
+type Options struct {
+	// Buckets is the number of intervals B per column. Zero selects
+	// DefaultBuckets. Larger B means fewer false positives but more
+	// leakage (finer equality pattern).
+	Buckets int
+	// IntDomains maps integer column names to their value domains.
+	// Integer columns without an entry get a domain derived from the
+	// column width: [-(10^w - 1), 10^w - 1].
+	IntDomains map[string]Domain
+}
+
+// DefaultBuckets is the default interval count per column.
+const DefaultBuckets = 16
+
+// labeler implements indexed.Labeler with interval bucketization.
+type labeler struct {
+	buckets int
+	domains []Domain // per column; only meaningful for int columns
+	prf     *crypto.PRF
+}
+
+// New constructs a bucketization instance over the schema.
+func New(master crypto.Key, schema *relation.Schema, opts Options) (*indexed.Scheme, error) {
+	b := opts.Buckets
+	if b == 0 {
+		b = DefaultBuckets
+	}
+	if b < 2 {
+		return nil, fmt.Errorf("bucket: need at least 2 buckets, got %d", b)
+	}
+	l := &labeler{
+		buckets: b,
+		domains: make([]Domain, schema.NumColumns()),
+		prf:     crypto.NewPRF(crypto.NewPRF(master).DeriveKey("bucket/labels", nil)),
+	}
+	for i, c := range schema.Columns {
+		if c.Type != relation.TypeInt {
+			continue
+		}
+		if d, ok := opts.IntDomains[c.Name]; ok {
+			if d.Max < d.Min {
+				return nil, fmt.Errorf("bucket: column %q has inverted domain [%d, %d]", c.Name, d.Min, d.Max)
+			}
+			l.domains[i] = d
+			continue
+		}
+		bound := int64(math.Pow10(min(c.Width, 18))) - 1
+		l.domains[i] = Domain{Min: -bound, Max: bound}
+	}
+	return indexed.New(SchemeID, master, schema, l)
+}
+
+// Label implements indexed.Labeler.
+func (l *labeler) Label(colIdx int, col relation.Column, v relation.Value) ([]byte, error) {
+	var bucketID uint64
+	switch col.Type {
+	case relation.TypeInt:
+		d := l.domains[colIdx]
+		x := v.Integer()
+		if x < d.Min || x > d.Max {
+			return nil, fmt.Errorf("bucket: value %d outside declared domain [%d, %d] of column %q",
+				x, d.Min, d.Max, col.Name)
+		}
+		// Equal-width intervals over [Min, Max]; the final interval
+		// absorbs the remainder.
+		intervalWidth := d.width() / uint64(l.buckets)
+		if intervalWidth == 0 {
+			intervalWidth = 1
+		}
+		bucketID = uint64(x-d.Min) / intervalWidth
+		if bucketID >= uint64(l.buckets) {
+			bucketID = uint64(l.buckets) - 1
+		}
+	case relation.TypeString:
+		// Keyed-hash partition of the string domain into B buckets.
+		h := l.prf.SumStrings(8, []byte("partition"), []byte(col.Name), []byte(v.Str()))
+		bucketID = be64(h) % uint64(l.buckets)
+	default:
+		return nil, fmt.Errorf("bucket: column %q has unsupported type %s", col.Name, col.Type)
+	}
+	// Secret permutation of the interval identifier, per column.
+	return l.prf.SumStrings(labelLen, []byte("perm"), []byte(col.Name), u64bytes(bucketID)), nil
+}
+
+func be64(b []byte) uint64 {
+	var x uint64
+	for _, c := range b[:8] {
+		x = x<<8 | uint64(c)
+	}
+	return x
+}
+
+func u64bytes(x uint64) []byte {
+	b := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(x)
+		x >>= 8
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func init() {
+	ph.RegisterEvaluator(SchemeID, indexed.Evaluate)
+}

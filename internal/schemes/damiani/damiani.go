@@ -1,0 +1,77 @@
+// Package damiani reimplements the hash-based indexing scheme of Damiani,
+// De Capitani di Vimercati, Jajodia, Paraboschi and Samarati, "Balancing
+// Confidentiality and Efficiency in Untrusted Relational DBMSs" (CCS 2003)
+// — reference [3] of the paper. The paper notes that "similar attacks work
+// on the scheme of Damiani et al.": its index labels are a deterministic
+// keyed hash of the attribute value reduced to B buckets, so the equality
+// pattern of values (up to hash collisions) is visible to the server.
+package damiani
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/schemes/indexed"
+)
+
+// SchemeID is the evaluator-registry name of the hash-index scheme.
+const SchemeID = "damiani"
+
+// Options configures the scheme.
+type Options struct {
+	// Buckets is the number of hash buckets B per column. Zero selects
+	// DefaultBuckets. Collisions (false positives) are intentional: they
+	// are the scheme's confidentiality knob.
+	Buckets int
+}
+
+// DefaultBuckets is the default hash-bucket count.
+const DefaultBuckets = 64
+
+// labeler implements indexed.Labeler with keyed-hash bucket labels.
+type labeler struct {
+	buckets uint64
+	prf     *crypto.PRF
+}
+
+// New constructs a hash-index instance over the schema.
+func New(master crypto.Key, schema *relation.Schema, opts Options) (*indexed.Scheme, error) {
+	b := opts.Buckets
+	if b == 0 {
+		b = DefaultBuckets
+	}
+	if b < 2 {
+		return nil, fmt.Errorf("damiani: need at least 2 buckets, got %d", b)
+	}
+	l := &labeler{
+		buckets: uint64(b),
+		prf:     crypto.NewPRF(crypto.NewPRF(master).DeriveKey("damiani/labels", nil)),
+	}
+	return indexed.New(SchemeID, master, schema, l)
+}
+
+// Label implements indexed.Labeler: label = PRF(col, value) mod B.
+func (l *labeler) Label(colIdx int, col relation.Column, v relation.Value) ([]byte, error) {
+	h := l.prf.SumStrings(8, []byte(col.Name), []byte(v.Encode()))
+	bucket := be64(h) % l.buckets
+	out := make([]byte, 4)
+	out[0] = byte(bucket >> 24)
+	out[1] = byte(bucket >> 16)
+	out[2] = byte(bucket >> 8)
+	out[3] = byte(bucket)
+	return out, nil
+}
+
+func be64(b []byte) uint64 {
+	var x uint64
+	for _, c := range b[:8] {
+		x = x<<8 | uint64(c)
+	}
+	return x
+}
+
+func init() {
+	ph.RegisterEvaluator(SchemeID, indexed.Evaluate)
+}

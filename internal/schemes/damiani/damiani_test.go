@@ -1,0 +1,77 @@
+package damiani
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/relation"
+)
+
+func schema() *relation.Schema {
+	return relation.MustSchema("t",
+		relation.Column{Name: "v", Type: relation.TypeInt, Width: 6},
+	)
+}
+
+func TestBucketCountRespected(t *testing.T) {
+	s, err := New(crypto.KeyFromBytes([]byte("k")), schema(), Options{Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := relation.NewTable(schema())
+	for i := int64(0); i < 256; i++ {
+		tab.MustInsert(relation.Int(i))
+	}
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for _, tp := range ct.Tuples {
+		distinct[string(tp.Words[0])] = true
+	}
+	if len(distinct) > 4 {
+		t.Fatalf("%d distinct labels with 4 buckets", len(distinct))
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("hash partition degenerate: %d distinct labels", len(distinct))
+	}
+}
+
+func TestLabelStability(t *testing.T) {
+	s, err := New(crypto.KeyFromBytes([]byte("k")), schema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := relation.NewTable(schema())
+	tab.MustInsert(relation.Int(42))
+	tab.MustInsert(relation.Int(42))
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ct.Tuples[0].Words[0], ct.Tuples[1].Words[0]) {
+		t.Fatal("equal values hashed to different labels")
+	}
+}
+
+func TestLabelsKeyDependent(t *testing.T) {
+	tab := relation.NewTable(schema())
+	tab.MustInsert(relation.Int(7))
+	mk := func(key string) []byte {
+		s, err := New(crypto.KeyFromBytes([]byte(key)), schema(), Options{Buckets: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := s.EncryptTable(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ct.Tuples[0].Words[0]
+	}
+	// With 2^16 buckets a cross-key collision is a ~1.5e-5 event.
+	if bytes.Equal(mk("alpha"), mk("beta")) {
+		t.Fatal("labels identical under different keys")
+	}
+}

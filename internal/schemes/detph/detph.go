@@ -1,0 +1,41 @@
+// Package detph implements the deterministic-index comparator: each
+// attribute value is labelled with a full-width PRF of the value, so labels
+// are injective with overwhelming probability and the server sees the exact
+// equality pattern of every column. It is the information-theoretic
+// worst case of the indexed family — no false positives, maximal leakage —
+// and serves as the lower bound in the E1/E6 experiments.
+package detph
+
+import (
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/schemes/indexed"
+)
+
+// SchemeID is the evaluator-registry name of the deterministic-index scheme.
+const SchemeID = "detph"
+
+// labelLen is the label width; 16 bytes make collisions negligible, so the
+// label is effectively a deterministic encryption of the value.
+const labelLen = 16
+
+// labeler implements indexed.Labeler with injective deterministic labels.
+type labeler struct {
+	prf *crypto.PRF
+}
+
+// New constructs a deterministic-index instance over the schema.
+func New(master crypto.Key, schema *relation.Schema) (*indexed.Scheme, error) {
+	l := &labeler{prf: crypto.NewPRF(crypto.NewPRF(master).DeriveKey("detph/labels", nil))}
+	return indexed.New(SchemeID, master, schema, l)
+}
+
+// Label implements indexed.Labeler: label = PRF(col, value).
+func (l *labeler) Label(colIdx int, col relation.Column, v relation.Value) ([]byte, error) {
+	return l.prf.SumStrings(labelLen, []byte(col.Name), []byte(v.Encode())), nil
+}
+
+func init() {
+	ph.RegisterEvaluator(SchemeID, indexed.Evaluate)
+}

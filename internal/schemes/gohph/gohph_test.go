@@ -1,0 +1,243 @@
+package gohph
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+)
+
+func empSchema() *relation.Schema {
+	return relation.MustSchema("emp",
+		relation.Column{Name: "name", Type: relation.TypeString, Width: 10},
+		relation.Column{Name: "dept", Type: relation.TypeString, Width: 5},
+		relation.Column{Name: "salary", Type: relation.TypeInt, Width: 5},
+	)
+}
+
+func empTable() *relation.Table {
+	t := relation.NewTable(empSchema())
+	t.MustInsert(relation.String("Montgomery"), relation.String("HR"), relation.Int(7500))
+	t.MustInsert(relation.String("Ada"), relation.String("IT"), relation.Int(9100))
+	t.MustInsert(relation.String("Grace"), relation.String("HR"), relation.Int(8800))
+	t.MustInsert(relation.String("Alan"), relation.String("R&D"), relation.Int(7500))
+	return t
+}
+
+func newScheme(t *testing.T, opts Options) *Scheme {
+	t.Helper()
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(key, empSchema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := newScheme(t, Options{})
+	tab := empTable()
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := s.DecryptTable(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Equal(tab) {
+		t.Fatal("round trip changed the table")
+	}
+}
+
+func TestHomomorphicSelect(t *testing.T) {
+	s := newScheme(t, Options{})
+	tab := empTable()
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []relation.Eq{
+		{Column: "name", Value: relation.String("Montgomery")},
+		{Column: "dept", Value: relation.String("HR")},
+		{Column: "salary", Value: relation.Int(7500)},
+		{Column: "dept", Value: relation.String("NONE")},
+	} {
+		want, err := relation.Select(tab, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := s.EncryptQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ph.Apply(ct, eq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.DecryptResult(q, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("query %s: wrong filtered result", q)
+		}
+		if len(res.Tuples) < want.Len() {
+			t.Errorf("query %s: server returned fewer tuples (%d) than true matches (%d) — false negative",
+				q, len(res.Tuples), want.Len())
+		}
+	}
+}
+
+func TestFiltersAreSaltedPerDocument(t *testing.T) {
+	// Identical tuples must produce different Bloom filters (the docID
+	// salt), or the §1 equality attack would apply to the index.
+	s := newScheme(t, Options{})
+	tab := relation.NewTable(empSchema())
+	for i := 0; i < 8; i++ {
+		tab.MustInsert(relation.String("Same"), relation.String("HR"), relation.Int(1))
+	}
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ct.Tuples); i++ {
+		if bytes.Equal(ct.Tuples[0].Words[0], ct.Tuples[i].Words[0]) {
+			t.Fatal("identical tuples produced identical filters")
+		}
+	}
+}
+
+func TestNoPlaintextInCiphertext(t *testing.T) {
+	s := newScheme(t, Options{})
+	ct, err := s.EncryptTable(empTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, etp := range ct.Tuples {
+		for _, plain := range []string{"Montgomery", "HR", "7500"} {
+			if bytes.Contains(etp.Blob, []byte(plain)) || bytes.Contains(etp.Words[0], []byte(plain)) {
+				t.Fatalf("plaintext %q visible in ciphertext", plain)
+			}
+		}
+	}
+}
+
+func TestWrongKeyCannotSearchOrDecrypt(t *testing.T) {
+	s1 := newScheme(t, Options{})
+	s2 := newScheme(t, Options{})
+	tab := empTable()
+	ct, err := s1.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.DecryptTable(ct); err == nil {
+		t.Fatal("wrong key decrypted the table")
+	}
+	q := relation.Eq{Column: "dept", Value: relation.String("HR")}
+	eq, err := s2.EncryptQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ph.Apply(ct, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wrong-key trapdoor behaves like a random probe: with the default
+	// FP rate it should essentially never match all 4 tuples.
+	if len(res.Tuples) == tab.Len() {
+		t.Fatal("wrong-key trapdoor matched every tuple")
+	}
+}
+
+func TestFalsePositiveRateHonoured(t *testing.T) {
+	// With a deliberately sloppy 10% FP target, probing a large table
+	// with an absent value must produce false hits near that rate.
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(key, empSchema(), Options{FPRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := relation.NewTable(empSchema())
+	for i := 0; i < 2000; i++ {
+		tab.MustInsert(relation.String("P"), relation.String("HR"), relation.Int(int64(i)))
+	}
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := relation.Eq{Column: "dept", Value: relation.String("NONE!")}
+	eq, err := s.EncryptQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ph.Apply(ct, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(len(res.Tuples)) / float64(tab.Len())
+	if rate > 0.3 {
+		t.Fatalf("FP rate %v far above the 0.1 target", rate)
+	}
+	// And the client-side filter must remove them all.
+	got, err := s.DecryptResult(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("filter let %d false positives through", got.Len())
+	}
+}
+
+func TestMetaValidation(t *testing.T) {
+	if _, _, err := decodeMeta(nil); err == nil {
+		t.Fatal("nil meta accepted")
+	}
+	if _, _, err := decodeMeta(make([]byte, 6)); err == nil {
+		t.Fatal("zero geometry accepted")
+	}
+	s := newScheme(t, Options{})
+	ct, err := s.EncryptTable(empTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt trapdoor length must error.
+	if _, err := Evaluate(ct, &ph.EncryptedQuery{SchemeID: SchemeID, Token: []byte{1, 2}}); err == nil {
+		t.Fatal("short trapdoor accepted")
+	}
+	// Corrupt filter length must error, not panic.
+	bad := ct.Clone()
+	bad.Tuples[0].Words[0] = bad.Tuples[0].Words[0][:1]
+	q, err := s.EncryptQuery(relation.Eq{Column: "dept", Value: relation.String("HR")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(bad, q); err == nil {
+		t.Fatal("corrupt filter accepted")
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	s := newScheme(t, Options{})
+	other := relation.MustSchema("o", relation.Column{Name: "x", Type: relation.TypeInt, Width: 3})
+	tab := relation.NewTable(other)
+	tab.MustInsert(relation.Int(1))
+	if _, err := s.EncryptTable(tab); err == nil {
+		t.Fatal("foreign schema encrypted")
+	}
+	if _, err := s.EncryptQuery(relation.Eq{Column: "x", Value: relation.Int(1)}); err == nil {
+		t.Fatal("foreign query encrypted")
+	}
+	key, _ := crypto.RandomKey()
+	if _, err := New(key, empSchema(), Options{FPRate: 2}); err == nil {
+		t.Fatal("absurd FP rate accepted")
+	}
+}

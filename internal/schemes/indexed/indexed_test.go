@@ -1,0 +1,144 @@
+package indexed
+
+import (
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+)
+
+// constLabeler labels every value with its encoded bytes — transparent,
+// but enough to exercise the framework mechanics in isolation.
+type constLabeler struct{}
+
+func (constLabeler) Label(colIdx int, col relation.Column, v relation.Value) ([]byte, error) {
+	return []byte(v.Encode()), nil
+}
+
+func testSchema() *relation.Schema {
+	return relation.MustSchema("t",
+		relation.Column{Name: "a", Type: relation.TypeString, Width: 4},
+		relation.Column{Name: "n", Type: relation.TypeInt, Width: 3},
+	)
+}
+
+func newTestScheme(t *testing.T) *Scheme {
+	t.Helper()
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New("indexed-test", key, testSchema(), constLabeler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func init() {
+	ph.RegisterEvaluator("indexed-test", Evaluate)
+}
+
+func TestEvaluateMatchesLabels(t *testing.T) {
+	s := newTestScheme(t)
+	tab := relation.NewTable(testSchema())
+	tab.MustInsert(relation.String("x"), relation.Int(1))
+	tab.MustInsert(relation.String("y"), relation.Int(2))
+	tab.MustInsert(relation.String("x"), relation.Int(3))
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := relation.Eq{Column: "a", Value: relation.String("x")}
+	eq, err := s.EncryptQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(ct, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Positions) != 2 {
+		t.Fatalf("matched %d tuples, want 2", len(res.Positions))
+	}
+	out, err := s.DecryptResult(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("decrypted %d tuples, want 2", out.Len())
+	}
+}
+
+func TestEvaluateRejectsShortToken(t *testing.T) {
+	s := newTestScheme(t)
+	tab := relation.NewTable(testSchema())
+	tab.MustInsert(relation.String("x"), relation.Int(1))
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(ct, &ph.EncryptedQuery{SchemeID: "indexed-test", Token: []byte{1}}); err == nil {
+		t.Fatal("1-byte token accepted")
+	}
+}
+
+func TestEvaluateRejectsColumnOutOfRange(t *testing.T) {
+	s := newTestScheme(t)
+	tab := relation.NewTable(testSchema())
+	tab.MustInsert(relation.String("x"), relation.Int(1))
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column index 9 does not exist.
+	token := []byte{0, 9, 'x'}
+	if _, err := Evaluate(ct, &ph.EncryptedQuery{SchemeID: "indexed-test", Token: token}); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+}
+
+func TestDecryptRejectsTamperedBlob(t *testing.T) {
+	s := newTestScheme(t)
+	tab := relation.NewTable(testSchema())
+	tab.MustInsert(relation.String("x"), relation.Int(1))
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct.Tuples[0].Blob[len(ct.Tuples[0].Blob)-1] ^= 1
+	if _, err := s.DecryptTable(ct); err == nil {
+		t.Fatal("tampered AEAD blob decrypted")
+	}
+}
+
+func TestEmptyTableWorks(t *testing.T) {
+	s := newTestScheme(t)
+	tab := relation.NewTable(testSchema())
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.Tuples) != 0 {
+		t.Fatalf("empty table produced %d ciphertext tuples", len(ct.Tuples))
+	}
+	pt, err := s.DecryptTable(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Len() != 0 {
+		t.Fatal("empty table round trip gained tuples")
+	}
+	eq, err := s.EncryptQuery(relation.Eq{Column: "a", Value: relation.String("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(ct, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Positions) != 0 {
+		t.Fatal("query on empty table matched")
+	}
+}

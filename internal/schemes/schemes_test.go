@@ -1,0 +1,335 @@
+// Package schemes_test exercises the three comparator schemes through the
+// shared ph.Scheme interface: round trips, homomorphic selects with
+// client-side filtering, and the deterministic-label leakage the paper's §1
+// attack exploits.
+package schemes_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/schemes/bucket"
+	"repro/internal/schemes/damiani"
+	"repro/internal/schemes/detph"
+)
+
+func empSchema() *relation.Schema {
+	return relation.MustSchema("emp",
+		relation.Column{Name: "name", Type: relation.TypeString, Width: 10},
+		relation.Column{Name: "dept", Type: relation.TypeString, Width: 5},
+		relation.Column{Name: "salary", Type: relation.TypeInt, Width: 5},
+	)
+}
+
+func empTable() *relation.Table {
+	t := relation.NewTable(empSchema())
+	t.MustInsert(relation.String("Montgomery"), relation.String("HR"), relation.Int(7500))
+	t.MustInsert(relation.String("Ada"), relation.String("IT"), relation.Int(9100))
+	t.MustInsert(relation.String("Grace"), relation.String("HR"), relation.Int(8800))
+	t.MustInsert(relation.String("Alan"), relation.String("R&D"), relation.Int(7500))
+	return t
+}
+
+// allSchemes builds one instance of each comparator with a fresh key.
+func allSchemes(t *testing.T) []ph.Scheme {
+	t.Helper()
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bucket.New(key, empSchema(), bucket.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := damiani.New(key, empSchema(), damiani.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := detph.New(key, empSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []ph.Scheme{b, d, dp}
+}
+
+func TestSchemesRoundTrip(t *testing.T) {
+	tab := empTable()
+	for _, s := range allSchemes(t) {
+		ct, err := s.EncryptTable(tab)
+		if err != nil {
+			t.Fatalf("%s: EncryptTable: %v", s.Name(), err)
+		}
+		pt, err := s.DecryptTable(ct)
+		if err != nil {
+			t.Fatalf("%s: DecryptTable: %v", s.Name(), err)
+		}
+		if !pt.Equal(tab) {
+			t.Fatalf("%s: round trip changed the table", s.Name())
+		}
+	}
+}
+
+func TestSchemesHomomorphicSelect(t *testing.T) {
+	tab := empTable()
+	queries := []relation.Eq{
+		{Column: "dept", Value: relation.String("HR")},
+		{Column: "salary", Value: relation.Int(7500)},
+		{Column: "name", Value: relation.String("Ada")},
+		{Column: "dept", Value: relation.String("NONE")},
+	}
+	for _, s := range allSchemes(t) {
+		ct, err := s.EncryptTable(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			want, err := relation.Select(tab, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eq, err := s.EncryptQuery(q)
+			if err != nil {
+				t.Fatalf("%s: EncryptQuery: %v", s.Name(), err)
+			}
+			res, err := ph.Apply(ct, eq)
+			if err != nil {
+				t.Fatalf("%s: Apply: %v", s.Name(), err)
+			}
+			got, err := s.DecryptResult(q, res)
+			if err != nil {
+				t.Fatalf("%s: DecryptResult: %v", s.Name(), err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("%s: query %s: wrong result after filtering", s.Name(), q)
+			}
+			// Server may return a superset (bucket collisions), never
+			// a subset.
+			if len(res.Tuples) < want.Len() {
+				t.Errorf("%s: query %s: server returned %d < %d true matches",
+					s.Name(), q, len(res.Tuples), want.Len())
+			}
+		}
+	}
+}
+
+func TestDeterministicLabelsLeak(t *testing.T) {
+	// The weakness the paper exploits: equal values get equal labels.
+	tab := relation.NewTable(empSchema())
+	tab.MustInsert(relation.String("A"), relation.String("HR"), relation.Int(4900))
+	tab.MustInsert(relation.String("B"), relation.String("HR"), relation.Int(4900))
+	for _, s := range allSchemes(t) {
+		ct, err := s.EncryptTable(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// dept labels (col 1) and salary labels (col 2) must repeat.
+		if !bytes.Equal(ct.Tuples[0].Words[1], ct.Tuples[1].Words[1]) {
+			t.Errorf("%s: equal dept values got different labels — attack model broken", s.Name())
+		}
+		if !bytes.Equal(ct.Tuples[0].Words[2], ct.Tuples[1].Words[2]) {
+			t.Errorf("%s: equal salary values got different labels", s.Name())
+		}
+	}
+}
+
+func TestBucketDistinctValuesDistinctIntervals(t *testing.T) {
+	// The paper's §1 attack needs 1200 and 4900 to land in different
+	// intervals. With the declared domain [0, 9999] and 16 buckets the
+	// interval width is 624, so they always do.
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := bucket.New(key, empSchema(), bucket.Options{
+		IntDomains: map[string]bucket.Domain{"salary": {Min: 0, Max: 9999}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := relation.NewTable(empSchema())
+	tab.MustInsert(relation.String("A"), relation.String("HR"), relation.Int(4900))
+	tab.MustInsert(relation.String("B"), relation.String("IT"), relation.Int(1200))
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ct.Tuples[0].Words[2], ct.Tuples[1].Words[2]) {
+		t.Fatal("1200 and 4900 share a bucket label in domain [0,9999] with 16 buckets")
+	}
+}
+
+func TestBucketDomainEnforced(t *testing.T) {
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := bucket.New(key, empSchema(), bucket.Options{
+		IntDomains: map[string]bucket.Domain{"salary": {Min: 0, Max: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := relation.NewTable(empSchema())
+	tab.MustInsert(relation.String("A"), relation.String("HR"), relation.Int(4900))
+	if _, err := s.EncryptTable(tab); err == nil {
+		t.Fatal("out-of-domain value accepted")
+	}
+}
+
+func TestBucketOptionValidation(t *testing.T) {
+	key, _ := crypto.RandomKey()
+	if _, err := bucket.New(key, empSchema(), bucket.Options{Buckets: 1}); err == nil {
+		t.Fatal("single bucket accepted")
+	}
+	if _, err := bucket.New(key, empSchema(), bucket.Options{
+		IntDomains: map[string]bucket.Domain{"salary": {Min: 5, Max: 1}},
+	}); err == nil {
+		t.Fatal("inverted domain accepted")
+	}
+	if _, err := damiani.New(key, empSchema(), damiani.Options{Buckets: 1}); err == nil {
+		t.Fatal("single hash bucket accepted")
+	}
+}
+
+func TestDamianiBucketsCollide(t *testing.T) {
+	// With 2 hash buckets, many distinct values must share labels —
+	// that's the scheme's confidentiality/efficiency dial.
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := damiani.New(key, empSchema(), damiani.Options{Buckets: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := relation.NewTable(empSchema())
+	for i := 0; i < 16; i++ {
+		tab.MustInsert(relation.String("P"), relation.String("HR"), relation.Int(int64(i*100)))
+	}
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]int{}
+	for _, tp := range ct.Tuples {
+		labels[string(tp.Words[2])]++
+	}
+	if len(labels) > 2 {
+		t.Fatalf("2-bucket hashing produced %d distinct labels", len(labels))
+	}
+	// Filtering must still make the select exact.
+	q := relation.Eq{Column: "salary", Value: relation.Int(400)}
+	eq, err := s.EncryptQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ph.Apply(ct, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.DecryptResult(q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Tuple(0)[2].Integer() != 400 {
+		t.Fatalf("filtered result wrong: %v", got)
+	}
+	if len(res.Tuples) <= 1 {
+		t.Fatal("expected bucket collisions to inflate the raw result")
+	}
+}
+
+func TestDetphNoFalsePositives(t *testing.T) {
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := detph.New(key, empSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := empTable()
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := relation.Eq{Column: "dept", Value: relation.String("HR")}
+	eq, err := s.EncryptQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ph.Apply(ct, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 2 {
+		t.Fatalf("detph raw result has %d tuples, want exactly 2 (injective labels)", len(res.Tuples))
+	}
+}
+
+func TestSchemesRejectForeignCiphertext(t *testing.T) {
+	ss := allSchemes(t)
+	tab := empTable()
+	ct, err := ss[0].EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss[1].DecryptTable(ct); err == nil {
+		t.Fatal("scheme decrypted another scheme's ciphertext without error")
+	}
+}
+
+func TestSchemesRejectWrongSchema(t *testing.T) {
+	other := relation.MustSchema("other",
+		relation.Column{Name: "x", Type: relation.TypeInt, Width: 3},
+	)
+	tab := relation.NewTable(other)
+	tab.MustInsert(relation.Int(1))
+	for _, s := range allSchemes(t) {
+		if _, err := s.EncryptTable(tab); err == nil {
+			t.Fatalf("%s: encrypted a table of a foreign schema", s.Name())
+		}
+		if _, err := s.EncryptQuery(relation.Eq{Column: "x", Value: relation.Int(1)}); err == nil {
+			t.Fatalf("%s: encrypted a query over a foreign schema", s.Name())
+		}
+	}
+}
+
+func TestTupleOrderIsShuffled(t *testing.T) {
+	// Insertion order must not be observable: encrypt a 64-tuple table
+	// with a strictly increasing key and check the blobs don't decrypt
+	// in insertion order every time (probabilistic, 1/64! false-fail).
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := detph.New(key, empSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := relation.NewTable(empSchema())
+	for i := 0; i < 64; i++ {
+		tab.MustInsert(relation.String("P"), relation.String("HR"), relation.Int(int64(i)))
+	}
+	ct, err := s.EncryptTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := s.DecryptTable(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inOrder := true
+	for i := 0; i < pt.Len(); i++ {
+		if pt.Tuple(i)[2].Integer() != int64(i) {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("ciphertext preserved insertion order exactly (shuffle missing?)")
+	}
+}

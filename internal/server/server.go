@@ -1,0 +1,294 @@
+// Package server implements Eve: the untrusted database service provider.
+// It accepts client connections, stores encrypted tables, and evaluates
+// encrypted queries through the key-free evaluator registry (ph.Apply). It
+// never holds keys and never sees plaintext — its entire view is the view
+// the paper's security games grant the adversary.
+//
+// The server is intentionally honest-but-curious infrastructure: it follows
+// the protocol (the trust model of §2's "Alex trusts Eve to behave
+// according to protocol"), while everything it learns is available for
+// offline analysis via the storage log.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/authindex"
+	"repro/internal/ph"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// Server is one service-provider instance.
+type Server struct {
+	store  *storage.Store
+	logger *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New creates a server over the given store. logger may be nil to discard
+// diagnostics.
+func New(store *storage.Store, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{store: store, logger: logger, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until Close is called. It blocks.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("server: already closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes all connections and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ServeConn handles one client connection until EOF. Exported so tests and
+// in-memory transports (net.Pipe) can drive a connection without a
+// listener.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		f, err := wire.ReadFrame(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logger.Printf("server: connection %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(f)
+		if err := wire.WriteFrame(w, resp); err != nil {
+			s.logger.Printf("server: connection %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if err := w.Flush(); err != nil {
+			s.logger.Printf("server: connection %s: flush: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// dispatch executes one command frame and builds the response frame.
+func (s *Server) dispatch(f wire.Frame) wire.Frame {
+	resp, err := s.handle(f)
+	if err != nil {
+		return wire.Frame{Type: wire.RespError, Payload: wire.AppendString(nil, err.Error())}
+	}
+	return resp
+}
+
+// handle implements the command set.
+func (s *Server) handle(f wire.Frame) (wire.Frame, error) {
+	r := wire.NewBuffer(f.Payload)
+	switch f.Type {
+	case wire.CmdStore:
+		name, err := r.String()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		t, err := wire.DecodeTable(r)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		if err := s.store.Put(name, t); err != nil {
+			return wire.Frame{}, err
+		}
+		return wire.Frame{Type: wire.RespOK}, nil
+
+	case wire.CmdInsert:
+		name, err := r.String()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		n, err := r.U32()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		tuples := make([]ph.EncryptedTuple, 0, n)
+		for i := uint32(0); i < n; i++ {
+			tp, err := wire.DecodeTuple(r)
+			if err != nil {
+				return wire.Frame{}, err
+			}
+			tuples = append(tuples, tp)
+		}
+		if err := s.store.Append(name, tuples); err != nil {
+			return wire.Frame{}, err
+		}
+		return wire.Frame{Type: wire.RespOK}, nil
+
+	case wire.CmdQuery:
+		name, err := r.String()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		q, err := wire.DecodeQuery(r)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		res, err := s.store.Query(name, q)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		return wire.Frame{Type: wire.RespResult, Payload: wire.EncodeResult(nil, res)}, nil
+
+	case wire.CmdQueryBatch:
+		name, err := r.String()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		n, err := r.U32()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		payload := wire.AppendU32(nil, n)
+		for i := uint32(0); i < n; i++ {
+			q, err := wire.DecodeQuery(r)
+			if err != nil {
+				return wire.Frame{}, err
+			}
+			res, err := s.store.Query(name, q)
+			if err != nil {
+				return wire.Frame{}, err
+			}
+			payload = wire.EncodeResult(payload, res)
+		}
+		return wire.Frame{Type: wire.RespResults, Payload: payload}, nil
+
+	case wire.CmdFetchAll:
+		name, err := r.String()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		t, err := s.store.Get(name)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		return wire.Frame{Type: wire.RespTable, Payload: wire.EncodeTable(nil, t)}, nil
+
+	case wire.CmdDrop:
+		name, err := r.String()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		if err := s.store.Drop(name); err != nil {
+			return wire.Frame{}, err
+		}
+		return wire.Frame{Type: wire.RespOK}, nil
+
+	case wire.CmdList:
+		return wire.Frame{Type: wire.RespList, Payload: wire.EncodeList(nil, s.store.List())}, nil
+
+	case wire.CmdRoot:
+		name, err := r.String()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		t, err := s.store.Get(name)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		tree := authindex.Build(t)
+		payload := wire.AppendBytes(nil, tree.Root())
+		payload = wire.AppendU32(payload, uint32(len(t.Tuples)))
+		return wire.Frame{Type: wire.RespRoot, Payload: payload}, nil
+
+	case wire.CmdProve:
+		name, err := r.String()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		n, err := r.U32()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		positions := make([]int, n)
+		for i := range positions {
+			p, err := r.U32()
+			if err != nil {
+				return wire.Frame{}, err
+			}
+			positions[i] = int(p)
+		}
+		t, err := s.store.Get(name)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		tree := authindex.Build(t)
+		proofs, err := tree.Prove(positions)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		return wire.Frame{Type: wire.RespProofs, Payload: authindex.EncodeProofs(nil, proofs)}, nil
+
+	default:
+		return wire.Frame{}, fmt.Errorf("server: unknown command %#x", f.Type)
+	}
+}

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/authindex"
+	"repro/internal/ph"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+var registerOnce sync.Once
+
+func testStore(t *testing.T) *storage.Store {
+	t.Helper()
+	registerOnce.Do(func() {
+		ph.RegisterEvaluator("server-test", func(et *ph.EncryptedTable, q *ph.EncryptedQuery) (*ph.Result, error) {
+			return ph.SelectPositions(et, []int{0}), nil
+		})
+	})
+	return storage.NewMemory()
+}
+
+// dispatchTable builds a store-able table payload for CmdStore.
+func encTable(n int) *ph.EncryptedTable {
+	et := &ph.EncryptedTable{SchemeID: "server-test"}
+	for i := 0; i < n; i++ {
+		et.Tuples = append(et.Tuples, ph.EncryptedTuple{
+			ID:    []byte{byte(i)},
+			Words: [][]byte{{0xA0, byte(i)}},
+		})
+	}
+	return et
+}
+
+func storeFrame(name string, et *ph.EncryptedTable) wire.Frame {
+	payload := wire.AppendString(nil, name)
+	payload = wire.EncodeTable(payload, et)
+	return wire.Frame{Type: wire.CmdStore, Payload: payload}
+}
+
+func TestDispatchStoreAndFetch(t *testing.T) {
+	s := New(testStore(t), nil)
+	resp := s.dispatch(storeFrame("emp", encTable(3)))
+	if resp.Type != wire.RespOK {
+		t.Fatalf("store response %#x: %s", resp.Type, resp.Payload)
+	}
+	resp = s.dispatch(wire.Frame{Type: wire.CmdFetchAll, Payload: wire.AppendString(nil, "emp")})
+	if resp.Type != wire.RespTable {
+		t.Fatalf("fetch response %#x", resp.Type)
+	}
+	et, err := wire.DecodeTable(wire.NewBuffer(resp.Payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(et.Tuples) != 3 {
+		t.Fatalf("fetched %d tuples", len(et.Tuples))
+	}
+}
+
+func TestDispatchQuery(t *testing.T) {
+	s := New(testStore(t), nil)
+	if resp := s.dispatch(storeFrame("emp", encTable(2))); resp.Type != wire.RespOK {
+		t.Fatal("store failed")
+	}
+	payload := wire.AppendString(nil, "emp")
+	payload = wire.EncodeQuery(payload, &ph.EncryptedQuery{SchemeID: "server-test", Token: []byte{1}})
+	resp := s.dispatch(wire.Frame{Type: wire.CmdQuery, Payload: payload})
+	if resp.Type != wire.RespResult {
+		t.Fatalf("query response %#x: %s", resp.Type, resp.Payload)
+	}
+	res, err := wire.DecodeResult(wire.NewBuffer(resp.Payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Positions) != 1 || res.Positions[0] != 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestDispatchUnknownCommand(t *testing.T) {
+	s := New(testStore(t), nil)
+	resp := s.dispatch(wire.Frame{Type: 0x7F})
+	if resp.Type != wire.RespError {
+		t.Fatalf("unknown command response %#x", resp.Type)
+	}
+}
+
+func TestDispatchMalformedPayload(t *testing.T) {
+	s := New(testStore(t), nil)
+	for _, cmd := range []byte{wire.CmdStore, wire.CmdInsert, wire.CmdQuery, wire.CmdFetchAll,
+		wire.CmdDrop, wire.CmdRoot, wire.CmdProve} {
+		resp := s.dispatch(wire.Frame{Type: cmd, Payload: []byte{0xFF}})
+		if resp.Type != wire.RespError {
+			t.Errorf("command %#x with garbage payload returned %#x, want error", cmd, resp.Type)
+		}
+	}
+}
+
+func TestDispatchRootAndProve(t *testing.T) {
+	s := New(testStore(t), nil)
+	et := encTable(5)
+	if resp := s.dispatch(storeFrame("emp", et)); resp.Type != wire.RespOK {
+		t.Fatal("store failed")
+	}
+	resp := s.dispatch(wire.Frame{Type: wire.CmdRoot, Payload: wire.AppendString(nil, "emp")})
+	if resp.Type != wire.RespRoot {
+		t.Fatalf("root response %#x", resp.Type)
+	}
+	r := wire.NewBuffer(resp.Payload)
+	root, err := r.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := r.U32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 || len(root) != authindex.HashSize {
+		t.Fatalf("root payload: %d leaves, %d-byte root", count, len(root))
+	}
+
+	payload := wire.AppendString(nil, "emp")
+	payload = wire.AppendU32(payload, 1)
+	payload = wire.AppendU32(payload, 2)
+	resp = s.dispatch(wire.Frame{Type: wire.CmdProve, Payload: payload})
+	if resp.Type != wire.RespProofs {
+		t.Fatalf("prove response %#x: %s", resp.Type, resp.Payload)
+	}
+	proofs, err := authindex.DecodeProofs(wire.NewBuffer(resp.Payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proofs) != 1 {
+		t.Fatalf("got %d proofs", len(proofs))
+	}
+	// The proof must verify against the served root. The server stores a
+	// copy of what we sent, so hash our local tuple.
+	if err := authindex.Verify(root, 5, et.Tuples[2], proofs[0]); err != nil {
+		t.Fatalf("served proof rejected: %v", err)
+	}
+}
+
+func TestServeConnClosesOnGarbage(t *testing.T) {
+	s := New(testStore(t), nil)
+	cli, srv := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ServeConn(srv)
+	}()
+	// A frame whose declared size exceeds the maximum must terminate the
+	// connection, not hang or crash.
+	cli.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server did not close the connection on a malformed frame")
+	}
+	cli.Close()
+}
+
+func TestCloseIsIdempotentAndStopsServe(t *testing.T) {
+	s := New(testStore(t), nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(l) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v after close", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("serve did not return after close")
+	}
+	// Serving again on a closed server must fail fast.
+	if err := s.Serve(l); err == nil {
+		t.Fatal("serve on closed server succeeded")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := New(testStore(t), nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			name := string(rune('a' + i))
+			f := storeFrame(name, encTable(2))
+			if err := wire.WriteFrame(conn, f); err != nil {
+				errs <- err
+				return
+			}
+			resp, err := wire.ReadFrame(conn)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Type != wire.RespOK {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

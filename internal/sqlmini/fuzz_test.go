@@ -1,0 +1,38 @@
+package sqlmini
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that anything it
+// accepts renders back to SQL it accepts again (idempotent rendering).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM t WHERE a = 1",
+		"SELECT a, b FROM t WHERE s = 'x' AND n = -5;",
+		"select * from t",
+		"SELECT * FROM t WHERE name = 'Ada Lovelace'",
+		"SELECT COUNT FROM t",
+		"SELECT * FROM t WHERE a < 1",
+		"SELECT * FROM t, u",
+		"'",
+		"",
+		"SELECT",
+		"SELECT * FROM t WHERE x = 99999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", input, rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("rendering not idempotent: %q -> %q", rendered, q2.String())
+		}
+	})
+}

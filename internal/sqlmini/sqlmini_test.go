@@ -1,0 +1,173 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestParseStar(t *testing.T) {
+	q, err := Parse("SELECT * FROM patients WHERE hospital = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Projection != nil {
+		t.Fatal("star should give nil projection")
+	}
+	if q.Table != "patients" {
+		t.Fatalf("table = %q", q.Table)
+	}
+	if len(q.Where) != 1 || q.Where[0].Column != "hospital" || q.Where[0].IsString || q.Where[0].IntVal != 1 {
+		t.Fatalf("where = %+v", q.Where)
+	}
+}
+
+func TestParseProjectionAndConjunction(t *testing.T) {
+	q, err := Parse("select name, salary from emp where dept = 'HR' and salary = 7500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Projection) != 2 || q.Projection[0] != "name" || q.Projection[1] != "salary" {
+		t.Fatalf("projection = %v", q.Projection)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("where = %+v", q.Where)
+	}
+	if !q.Where[0].IsString || q.Where[0].StrVal != "HR" {
+		t.Fatalf("first condition = %+v", q.Where[0])
+	}
+	if q.Where[1].IsString || q.Where[1].IntVal != 7500 {
+		t.Fatalf("second condition = %+v", q.Where[1])
+	}
+}
+
+func TestParseNoWhere(t *testing.T) {
+	q, err := Parse("SELECT * FROM emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 0 {
+		t.Fatalf("where = %+v", q.Where)
+	}
+}
+
+func TestParseNegativeInt(t *testing.T) {
+	q, err := Parse("SELECT * FROM t WHERE x = -17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].IntVal != -17 {
+		t.Fatalf("IntVal = %d", q.Where[0].IntVal)
+	}
+}
+
+func TestParseStringWithSpaces(t *testing.T) {
+	q, err := Parse("SELECT * FROM t WHERE name = 'Ada Lovelace'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].StrVal != "Ada Lovelace" {
+		t.Fatalf("StrVal = %q", q.Where[0].StrVal)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		sql     string
+		mention string
+	}{
+		{"", "SELECT"},
+		{"DELETE FROM t", "SELECT"},
+		{"SELECT FROM t", "column"},
+		{"SELECT * WHERE x = 1", "FROM"},
+		{"SELECT * FROM", "table"},
+		{"SELECT * FROM t WHERE", "column"},
+		{"SELECT * FROM t WHERE x", "="},
+		{"SELECT * FROM t WHERE x = ", "literal"},
+		{"SELECT * FROM t WHERE x < 5", "range"},
+		{"SELECT * FROM t WHERE x > 5", "range"},
+		{"SELECT * FROM t, u WHERE x = 1", "join"},
+		{"SELECT * FROM t JOIN u WHERE x = 1", "join"},
+		{"SELECT * FROM t WHERE x = 1 OR y = 2", "OR"},
+		{"SELECT * FROM t WHERE name = 'unterminated", "unterminated"},
+		{"SELECT * FROM t WHERE x = 1 garbage", "trailing"},
+		{"SELECT * FROM t WHERE x = 99999999999999999999", "integer"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.sql)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error mentioning %q", c.sql, c.mention)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(c.mention)) {
+			t.Errorf("Parse(%q) error %q does not mention %q", c.sql, err, c.mention)
+		}
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q, err := Parse("SELECT name FROM emp WHERE dept = 'HR' AND salary = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := q.String()
+	want := "SELECT name FROM emp WHERE dept = 'HR' AND salary = 1;"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	// Round trip: rendering must reparse to the same query.
+	q2, err := Parse(got)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if q2.String() != got {
+		t.Fatalf("reparse changed the query: %q vs %q", q2.String(), got)
+	}
+}
+
+func TestConditionBind(t *testing.T) {
+	s := relation.MustSchema("emp",
+		relation.Column{Name: "name", Type: relation.TypeString, Width: 10},
+		relation.Column{Name: "salary", Type: relation.TypeInt, Width: 5},
+	)
+	q, err := Parse("SELECT * FROM emp WHERE name = 'Ada' AND salary = 7500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq0, err := q.Where[0].Bind(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq0.Column != "name" || eq0.Value.Str() != "Ada" {
+		t.Fatalf("bound condition 0 = %+v", eq0)
+	}
+	eq1, err := q.Where[1].Bind(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq1.Value.Integer() != 7500 {
+		t.Fatalf("bound condition 1 = %+v", eq1)
+	}
+}
+
+func TestConditionBindErrors(t *testing.T) {
+	s := relation.MustSchema("emp",
+		relation.Column{Name: "name", Type: relation.TypeString, Width: 10},
+		relation.Column{Name: "salary", Type: relation.TypeInt, Width: 5},
+	)
+	if _, err := (Condition{Column: "zzz", IntVal: 1}).Bind(s); err == nil {
+		t.Fatal("unknown column bound")
+	}
+	if _, err := (Condition{Column: "salary", StrVal: "x", IsString: true}).Bind(s); err == nil {
+		t.Fatal("string literal bound to int column")
+	}
+	// Int literal against a string column binds as digits.
+	eq, err := (Condition{Column: "name", IntVal: 42}).Bind(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.Value.Str() != "42" {
+		t.Fatalf("int-to-string bind = %q", eq.Value.Str())
+	}
+}

@@ -1,0 +1,162 @@
+// Package stats provides the small statistical toolkit the evaluation
+// harness needs: summary statistics, binomial confidence intervals for
+// Monte-Carlo advantage estimates, and distribution-distance measures used
+// to quantify leakage.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator), or
+// 0 for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Binomial summarises wins out of trials, e.g. an adversary's performance in
+// a security game.
+type Binomial struct {
+	// Wins is the number of successes.
+	Wins int
+	// Trials is the number of independent trials.
+	Trials int
+}
+
+// Rate returns the empirical success probability.
+func (b Binomial) Rate() float64 {
+	if b.Trials == 0 {
+		return 0
+	}
+	return float64(b.Wins) / float64(b.Trials)
+}
+
+// Advantage converts a guessing-game success rate into the standard
+// cryptographic advantage 2·Pr[win] − 1 ∈ [−1, 1] (0 for a blind guesser,
+// 1 for a perfect distinguisher).
+func (b Binomial) Advantage() float64 {
+	return 2*b.Rate() - 1
+}
+
+// WilsonInterval returns the Wilson score interval for the success
+// probability at confidence level z standard normal deviates (z = 1.96 for
+// 95%).
+func (b Binomial) WilsonInterval(z float64) (lo, hi float64) {
+	if b.Trials == 0 {
+		return 0, 1
+	}
+	n := float64(b.Trials)
+	p := b.Rate()
+	z2 := z * z
+	den := 1 + z2/n
+	centre := (p + z2/(2*n)) / den
+	half := z / den * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = math.Max(0, centre-half)
+	hi = math.Min(1, centre+half)
+	return lo, hi
+}
+
+// HoeffdingRadius returns the half-width of the two-sided Hoeffding bound on
+// the deviation of the empirical rate from the true rate, at confidence
+// 1-delta: radius = sqrt(ln(2/delta) / (2n)).
+func (b Binomial) HoeffdingRadius(delta float64) float64 {
+	if b.Trials == 0 || delta <= 0 || delta >= 1 {
+		return 1
+	}
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(b.Trials)))
+}
+
+// String renders the binomial as "wins/trials (rate)".
+func (b Binomial) String() string {
+	return fmt.Sprintf("%d/%d (%.3f)", b.Wins, b.Trials, b.Rate())
+}
+
+// Entropy returns the Shannon entropy (bits) of a discrete distribution
+// given as unnormalised non-negative weights.
+func Entropy(weights []float64) float64 {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		p := w / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// TotalVariation returns the total-variation distance between two discrete
+// distributions over the same support, each given as unnormalised
+// non-negative weights. The slices must have the same length.
+func TotalVariation(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: TV distance over different supports (%d vs %d)", len(p), len(q))
+	}
+	var sp, sq float64
+	for i := range p {
+		sp += p[i]
+		sq += q[i]
+	}
+	if sp == 0 || sq == 0 {
+		return 0, fmt.Errorf("stats: TV distance of empty distribution")
+	}
+	var d float64
+	for i := range p {
+		d += math.Abs(p[i]/sp - q[i]/sq)
+	}
+	return d / 2, nil
+}

@@ -1,0 +1,336 @@
+// Package storage implements Eve's ciphertext store: a concurrency-safe
+// in-memory catalogue of encrypted tables with optional durability through
+// an append-only log. The server never sees plaintext; everything stored
+// here is exactly what the wire protocol delivered.
+//
+// Durability model: each mutation (store, insert, drop) is appended to the
+// log as a length-prefixed record and the log is replayed on open. A
+// partially written trailing record (crash mid-append) is detected and
+// truncated away, mirroring the recovery discipline of write-ahead logs.
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/ph"
+	"repro/internal/wire"
+)
+
+// log record op codes.
+const (
+	opStore  byte = 0x01
+	opInsert byte = 0x02
+	opDrop   byte = 0x03
+)
+
+// Store is the server-side catalogue of encrypted tables.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*ph.EncryptedTable
+	log    *os.File // nil for pure in-memory stores
+	path   string
+}
+
+// NewMemory creates a volatile in-memory store.
+func NewMemory() *Store {
+	return &Store{tables: make(map[string]*ph.EncryptedTable)}
+}
+
+// Open creates a durable store backed by the append-only log at path,
+// replaying any existing log.
+func Open(path string) (*Store, error) {
+	s := &Store{tables: make(map[string]*ph.EncryptedTable), path: path}
+	if err := s.replay(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening log %s: %w", path, err)
+	}
+	s.log = f
+	return s, nil
+}
+
+// Close releases the log file, if any.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.Close()
+	s.log = nil
+	return err
+}
+
+// replay loads the log at path into memory, truncating a torn trailing
+// record if one is found.
+func (s *Store) replay(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: opening log %s for replay: %w", path, err)
+	}
+	defer f.Close()
+	var validOffset int64
+	for {
+		var hdr [5]byte
+		_, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			break // torn header: truncate from validOffset
+		}
+		n := uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3])
+		if n > wire.MaxFrameSize {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break // torn payload
+		}
+		if err := s.applyRecord(hdr[4], payload); err != nil {
+			return fmt.Errorf("storage: replaying log %s at offset %d: %w", path, validOffset, err)
+		}
+		validOffset += int64(5 + n)
+	}
+	// Truncate any torn tail so the next append starts at a clean
+	// boundary.
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("storage: stat log %s: %w", path, err)
+	}
+	if info.Size() > validOffset {
+		if err := os.Truncate(path, validOffset); err != nil {
+			return fmt.Errorf("storage: truncating torn log tail of %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// applyRecord applies one replayed record to the in-memory state.
+func (s *Store) applyRecord(op byte, payload []byte) error {
+	r := wire.NewBuffer(payload)
+	switch op {
+	case opStore:
+		name, err := r.String()
+		if err != nil {
+			return err
+		}
+		t, err := wire.DecodeTable(r)
+		if err != nil {
+			return err
+		}
+		s.tables[name] = t
+	case opInsert:
+		name, err := r.String()
+		if err != nil {
+			return err
+		}
+		t, ok := s.tables[name]
+		if !ok {
+			return fmt.Errorf("storage: insert into unknown table %q", name)
+		}
+		n, err := r.U32()
+		if err != nil {
+			return err
+		}
+		for i := uint32(0); i < n; i++ {
+			tp, err := wire.DecodeTuple(r)
+			if err != nil {
+				return err
+			}
+			t.Tuples = append(t.Tuples, tp)
+		}
+	case opDrop:
+		name, err := r.String()
+		if err != nil {
+			return err
+		}
+		delete(s.tables, name)
+	default:
+		return fmt.Errorf("storage: unknown log op %#x", op)
+	}
+	return nil
+}
+
+// appendRecord durably appends a mutation record. Callers hold s.mu.
+func (s *Store) appendRecord(op byte, payload []byte) error {
+	if s.log == nil {
+		return nil
+	}
+	hdr := []byte{
+		byte(len(payload) >> 24), byte(len(payload) >> 16),
+		byte(len(payload) >> 8), byte(len(payload)), op,
+	}
+	if _, err := s.log.Write(append(hdr, payload...)); err != nil {
+		return fmt.Errorf("storage: appending log record: %w", err)
+	}
+	return nil
+}
+
+// Put stores (or replaces) the encrypted table under name.
+func (s *Store) Put(name string, t *ph.EncryptedTable) error {
+	if name == "" {
+		return fmt.Errorf("storage: empty table name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload := wire.AppendString(nil, name)
+	payload = wire.EncodeTable(payload, t)
+	if err := s.appendRecord(opStore, payload); err != nil {
+		return err
+	}
+	s.tables[name] = t.Clone()
+	return nil
+}
+
+// Append adds encrypted tuples to an existing table. The tuples must carry
+// the same scheme as the stored table (enforced by the caller protocol:
+// they're opaque here).
+func (s *Store) Append(name string, tuples []ph.EncryptedTuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return fmt.Errorf("storage: unknown table %q", name)
+	}
+	payload := wire.AppendString(nil, name)
+	payload = wire.AppendU32(payload, uint32(len(tuples)))
+	for _, tp := range tuples {
+		payload = wire.EncodeTuple(payload, tp)
+	}
+	if err := s.appendRecord(opInsert, payload); err != nil {
+		return err
+	}
+	t.Tuples = append(t.Tuples, tuples...)
+	return nil
+}
+
+// Get returns a deep copy of the named table.
+func (s *Store) Get(name string) (*ph.EncryptedTable, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	return t.Clone(), nil
+}
+
+// Query evaluates the encrypted query against the named table via the
+// key-free evaluator registry.
+func (s *Store) Query(name string, q *ph.EncryptedQuery) (*ph.Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	return ph.Apply(t, q)
+}
+
+// Drop removes the named table.
+func (s *Store) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("storage: unknown table %q", name)
+	}
+	if err := s.appendRecord(opDrop, wire.AppendString(nil, name)); err != nil {
+		return err
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// Compact rewrites the log so it holds exactly one store record per live
+// table, discarding superseded stores, appended-tuple records and dropped
+// tables. It is a no-op for in-memory stores. The rewrite goes through a
+// temporary file and an atomic rename, so a crash mid-compaction leaves
+// either the old or the new log intact.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("storage: creating compaction file: %w", err)
+	}
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		payload := wire.AppendString(nil, name)
+		payload = wire.EncodeTable(payload, s.tables[name])
+		hdr := []byte{
+			byte(len(payload) >> 24), byte(len(payload) >> 16),
+			byte(len(payload) >> 8), byte(len(payload)), opStore,
+		}
+		if _, err := tmp.Write(append(hdr, payload...)); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("storage: writing compacted record: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("storage: syncing compacted log: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("storage: closing compacted log: %w", err)
+	}
+	if err := s.log.Close(); err != nil {
+		return fmt.Errorf("storage: closing old log: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return fmt.Errorf("storage: swapping compacted log: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("storage: reopening compacted log: %w", err)
+	}
+	s.log = f
+	return nil
+}
+
+// LogSize returns the byte size of the persistence log, or 0 for in-memory
+// stores.
+func (s *Store) LogSize() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.log == nil {
+		return 0, nil
+	}
+	info, err := os.Stat(s.path)
+	if err != nil {
+		return 0, fmt.Errorf("storage: stat log: %w", err)
+	}
+	return info.Size(), nil
+}
+
+// List returns the directory of stored tables, sorted by name.
+func (s *Store) List() []wire.TableInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	infos := make([]wire.TableInfo, 0, len(s.tables))
+	for name, t := range s.tables {
+		infos = append(infos, wire.TableInfo{Name: name, SchemeID: t.SchemeID, Tuples: len(t.Tuples)})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}

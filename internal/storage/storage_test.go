@@ -1,0 +1,317 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/ph"
+)
+
+// fakeEvaluator registers a trivial evaluator once for query tests.
+var registerOnce sync.Once
+
+func fakeTable(n int) *ph.EncryptedTable {
+	registerOnce.Do(func() {
+		ph.RegisterEvaluator("storage-test", func(et *ph.EncryptedTable, q *ph.EncryptedQuery) (*ph.Result, error) {
+			return ph.SelectPositions(et, []int{0}), nil
+		})
+	})
+	t := &ph.EncryptedTable{SchemeID: "storage-test", Meta: []byte{1}}
+	for i := 0; i < n; i++ {
+		t.Tuples = append(t.Tuples, ph.EncryptedTuple{
+			ID:    []byte{byte(i)},
+			Blob:  []byte{0xB0, byte(i)},
+			Words: [][]byte{{0xA0, byte(i)}},
+		})
+	}
+	return t
+}
+
+func TestMemoryPutGet(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put("emp", fakeTable(3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tuples) != 3 {
+		t.Fatalf("got %d tuples", len(got.Tuples))
+	}
+	// Get must return a copy.
+	got.Tuples[0].ID[0] = 0xFF
+	again, _ := s.Get("emp")
+	if again.Tuples[0].ID[0] == 0xFF {
+		t.Fatal("Get shares memory with the store")
+	}
+}
+
+func TestPutEmptyNameRejected(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put("", fakeTable(1)); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	s := NewMemory()
+	if _, err := s.Get("nope"); err == nil {
+		t.Fatal("unknown table returned")
+	}
+}
+
+func TestAppendAndDrop(t *testing.T) {
+	s := NewMemory()
+	if err := s.Append("emp", fakeTable(1).Tuples); err == nil {
+		t.Fatal("append to unknown table accepted")
+	}
+	if err := s.Put("emp", fakeTable(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("emp", fakeTable(3).Tuples); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get("emp")
+	if len(got.Tuples) != 5 {
+		t.Fatalf("after append: %d tuples, want 5", len(got.Tuples))
+	}
+	if err := s.Drop("emp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drop("emp"); err == nil {
+		t.Fatal("double drop accepted")
+	}
+}
+
+func TestQueryDispatch(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put("emp", fakeTable(2)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query("emp", &ph.EncryptedQuery{SchemeID: "storage-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Positions) != 1 || res.Positions[0] != 0 {
+		t.Fatalf("query result: %+v", res)
+	}
+	if _, err := s.Query("none", &ph.EncryptedQuery{SchemeID: "storage-test"}); err == nil {
+		t.Fatal("query on unknown table accepted")
+	}
+}
+
+func TestList(t *testing.T) {
+	s := NewMemory()
+	s.Put("zeta", fakeTable(1))
+	s.Put("alpha", fakeTable(2))
+	infos := s.List()
+	if len(infos) != 2 || infos[0].Name != "alpha" || infos[1].Name != "zeta" {
+		t.Fatalf("list: %+v", infos)
+	}
+	if infos[1].Tuples != 1 || infos[0].SchemeID != "storage-test" {
+		t.Fatalf("list detail: %+v", infos)
+	}
+}
+
+func TestPersistenceReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("emp", fakeTable(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("emp", fakeTable(1).Tuples); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("tmp", fakeTable(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drop("tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.Get("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tuples) != 3 {
+		t.Fatalf("replayed table has %d tuples, want 3", len(got.Tuples))
+	}
+	if _, err := s2.Get("tmp"); err == nil {
+		t.Fatal("dropped table survived replay")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("emp", fakeTable(2)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: write garbage half-record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 50, opInsert, 1, 2, 3}) // declares 50 bytes, has 3
+	f.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn log not recovered: %v", err)
+	}
+	defer s2.Close()
+	got, err := s2.Get("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tuples) != 2 {
+		t.Fatalf("replayed table has %d tuples, want 2", len(got.Tuples))
+	}
+	// The torn tail must have been truncated so new appends work.
+	if err := s2.Append("emp", fakeTable(1).Tuples); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	got, err = s3.Get("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tuples) != 3 {
+		t.Fatalf("after recovery+append: %d tuples, want 3", len(got.Tuples))
+	}
+}
+
+func TestCompactShrinksAndPreserves(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn: repeated stores of the same table, appends, a dropped table.
+	for i := 0; i < 10; i++ {
+		if err := s.Put("emp", fakeTable(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append("emp", fakeTable(2).Tuples); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("tmp", fakeTable(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drop("tmp"); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.LogSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.LogSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", before, after)
+	}
+	// State survives both in memory and across a reopen.
+	got, err := s.Get("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tuples) != 6 {
+		t.Fatalf("after compaction: %d tuples, want 6", len(got.Tuples))
+	}
+	// The compacted log must still accept appends.
+	if err := s.Append("emp", fakeTable(1).Tuples); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err = s2.Get("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tuples) != 7 {
+		t.Fatalf("after reopen: %d tuples, want 7", len(got.Tuples))
+	}
+	if _, err := s2.Get("tmp"); err == nil {
+		t.Fatal("dropped table resurrected by compaction")
+	}
+}
+
+func TestCompactInMemoryNoop(t *testing.T) {
+	s := NewMemory()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.LogSize(); err != nil || n != 0 {
+		t.Fatalf("in-memory log size = %d, %v", n, err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put("emp", fakeTable(4)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				switch i % 3 {
+				case 0:
+					s.Get("emp")
+				case 1:
+					s.Append("emp", fakeTable(1).Tuples)
+				default:
+					s.List()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	got, err := s.Get("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 initial + ~(8/3 rounded) goroutines * 50 appends each.
+	if len(got.Tuples) < 104 {
+		t.Fatalf("lost appends: %d tuples", len(got.Tuples))
+	}
+}

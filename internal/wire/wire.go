@@ -1,0 +1,229 @@
+// Package wire defines the binary protocol between Alex (the client
+// library, internal/client) and Eve (the untrusted server,
+// internal/server), plus serialisation of the ph ciphertext types shared
+// with the storage log.
+//
+// Framing: every message is a frame
+//
+//	length:u32 | type:u8 | payload
+//
+// where length counts type+payload and is capped at MaxFrameSize. All
+// integers are big-endian. Variable-length byte strings inside payloads are
+// u32-length-prefixed.
+//
+// The protocol deliberately carries only ciphertext-domain objects —
+// encrypted tables, encrypted queries, result position sets. The server
+// could log every frame and hand the log to an adversary, and that
+// adversary would hold exactly the view the paper's Definition 2.1 grants
+// Eve.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize caps frame payloads (64 MiB) so a corrupt length prefix
+// cannot trigger unbounded allocation.
+const MaxFrameSize = 64 << 20
+
+// Command and response type bytes.
+const (
+	// CmdStore uploads a complete encrypted table under a name,
+	// replacing any previous table of that name.
+	CmdStore byte = 0x01
+	// CmdInsert appends encrypted tuples to an existing table.
+	CmdInsert byte = 0x02
+	// CmdQuery evaluates an encrypted query against a named table.
+	CmdQuery byte = 0x03
+	// CmdFetchAll downloads a complete encrypted table.
+	CmdFetchAll byte = 0x04
+	// CmdDrop removes a named table.
+	CmdDrop byte = 0x05
+	// CmdList enumerates stored tables.
+	CmdList byte = 0x06
+	// CmdRoot requests the authenticated-index root for a table
+	// (extension; see internal/authindex).
+	CmdRoot byte = 0x07
+	// CmdProve requests inclusion proofs for result positions
+	// (extension).
+	CmdProve byte = 0x08
+	// CmdQueryBatch evaluates several encrypted queries against one
+	// table in a single round trip.
+	CmdQueryBatch byte = 0x09
+
+	// RespOK acknowledges a command with no payload.
+	RespOK byte = 0x81
+	// RespError carries an error string.
+	RespError byte = 0x82
+	// RespResult carries a ph.Result.
+	RespResult byte = 0x83
+	// RespTable carries a ph.EncryptedTable.
+	RespTable byte = 0x84
+	// RespList carries the table directory.
+	RespList byte = 0x85
+	// RespRoot carries a Merkle root (extension).
+	RespRoot byte = 0x86
+	// RespProofs carries Merkle inclusion proofs (extension).
+	RespProofs byte = 0x87
+	// RespResults carries several ph.Results (answer to CmdQueryBatch).
+	RespResults byte = 0x88
+)
+
+// Frame is one protocol message.
+type Frame struct {
+	// Type is the command or response byte.
+	Type byte
+	// Payload is the message body.
+	Payload []byte
+}
+
+// WriteFrame writes a frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload)+1 > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds maximum %d", len(f.Payload)+1, MaxFrameSize)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(f.Payload)+1))
+	hdr[4] = f.Type
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(f.Payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	if bw, ok := w.(*bufio.Writer); ok {
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("wire: flushing frame: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return Frame{}, fmt.Errorf("wire: zero-length frame")
+	}
+	if n > MaxFrameSize {
+		return Frame{}, fmt.Errorf("wire: frame of %d bytes exceeds maximum %d", n, MaxFrameSize)
+	}
+	f := Frame{Type: hdr[4]}
+	if n > 1 {
+		f.Payload = make([]byte, n-1)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("wire: reading frame payload: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// Buffer is a cursor over a payload for decoding.
+type Buffer struct {
+	b   []byte
+	off int
+}
+
+// NewBuffer wraps a payload for decoding.
+func NewBuffer(b []byte) *Buffer { return &Buffer{b: b} }
+
+// Remaining returns the number of unread bytes.
+func (r *Buffer) Remaining() int { return len(r.b) - r.off }
+
+// Err returns an error unless the buffer is fully consumed.
+func (r *Buffer) Err() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("wire: %d trailing bytes in payload", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// U8 reads one byte.
+func (r *Buffer) U8() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("wire: truncated payload reading u8")
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+// U32 reads a big-endian uint32.
+func (r *Buffer) U32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, fmt.Errorf("wire: truncated payload reading u32")
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+// U64 reads a big-endian uint64.
+func (r *Buffer) U64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, fmt.Errorf("wire: truncated payload reading u64")
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// Bytes reads a u32-length-prefixed byte string.
+func (r *Buffer) Bytes() ([]byte, error) {
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > r.Remaining() {
+		return nil, fmt.Errorf("wire: byte string of %d exceeds remaining payload %d", n, r.Remaining())
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:])
+	r.off += int(n)
+	return out, nil
+}
+
+// String reads a u32-length-prefixed string.
+func (r *Buffer) String() (string, error) {
+	b, err := r.Bytes()
+	return string(b), err
+}
+
+// AppendU8 appends one byte.
+func AppendU8(dst []byte, v byte) []byte { return append(dst, v) }
+
+// AppendU32 appends a big-endian uint32.
+func AppendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// AppendU64 appends a big-endian uint64.
+func AppendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// AppendBytes appends a u32-length-prefixed byte string.
+func AppendBytes(dst, v []byte) []byte {
+	dst = AppendU32(dst, uint32(len(v)))
+	return append(dst, v...)
+}
+
+// AppendString appends a u32-length-prefixed string.
+func AppendString(dst []byte, v string) []byte {
+	dst = AppendU32(dst, uint32(len(v)))
+	return append(dst, v...)
+}
