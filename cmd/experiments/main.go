@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e12); empty = all")
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e13); empty = all")
 		outPath  = flag.String("o", "", "also write the output to this file")
 		trials   = flag.Int("trials", 200, "game trials per cell (E1, E4)")
 		patients = flag.Int("patients", 400, "patients per hospital table (E2, E3)")
@@ -41,9 +41,11 @@ func main() {
 	}
 	sizes := []int{100, 1000, 10000}
 	e8sizes := []int{100, 1000, 10000, 100000}
+	e13Tuples := 10000
 	if *quick {
 		sizes = []int{100, 1000}
 		e8sizes = []int{100, 1000}
+		e13Tuples = 2048
 	}
 
 	want := map[string]bool{}
@@ -71,6 +73,7 @@ func main() {
 		{"e10", func() (*bench.Table, error) { return bench.RunE10(*patients, *trials, *seed) }},
 		{"e11", func() (*bench.Table, error) { return bench.RunE11(*patients, *infTr, *seed) }},
 		{"e12", func() (*bench.Table, error) { return bench.RunE12(*patients, 20, *seed) }},
+		{"e13", func() (*bench.Table, error) { return bench.RunE13(e13Tuples, *seed) }},
 	}
 	var out io.Writer = os.Stdout
 	if *outPath != "" {

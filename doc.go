@@ -8,6 +8,17 @@
 // internal/attacks), and a full client/server outsourcing stack
 // (internal/client, internal/server).
 //
+// The server-side hot path — testing one SWP trapdoor against every
+// cipherword of every tuple — runs on a zero-allocation, multi-core search
+// engine: crypto.PRF carries a reusable HMAC state with SumInto /
+// ChecksumInto variants, swp.Matcher precomputes per-trapdoor state so
+// each match test costs 0 allocs/op, core.Evaluate shards table scans
+// across a GOMAXPROCS worker pool (one Matcher clone per worker, hits
+// merged in table order), and storage.Store locks per table so concurrent
+// clients' queries never serialise on unrelated tables. See DESIGN.md
+// ("Search engine & performance architecture") for the design and for how
+// to read the allocs/op numbers experiment E13 reports.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
 // root-level benchmarks (bench_test.go) regenerate every evaluation

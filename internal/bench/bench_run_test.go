@@ -283,6 +283,33 @@ func TestE12Shapes(t *testing.T) {
 	}
 }
 
+func TestE13Shapes(t *testing.T) {
+	// 2048 tuples: big enough to engage core.Evaluate's parallel path,
+	// small enough for a test. Timing cells are machine noise and stay
+	// unasserted; the allocation shape is the regression being pinned.
+	tab, err := RunE13(2048, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedRow := findRow(t, tab, "swp match: seed")
+	engineRow := findRow(t, tab, "swp match: engine")
+	if allocs := cell(t, tab, engineRow, 4); allocs != 0 {
+		t.Errorf("E13: engine match path reports %v allocs/op, want 0", allocs)
+	}
+	if allocs := cell(t, tab, seedRow, 4); allocs == 0 {
+		t.Error("E13: seed match path reports 0 allocs/op; the before/after comparison is broken")
+	}
+	if b := cell(t, tab, engineRow, 3); b != 0 {
+		t.Errorf("E13: engine match path reports %v B/op, want 0", b)
+	}
+	// Both evaluate rows must be present with sane positive timings.
+	for _, name := range []string{"core evaluate: serial engine", "core evaluate: parallel engine"} {
+		if ns := cell(t, tab, findRow(t, tab, name), 2); ns <= 0 {
+			t.Errorf("E13 %s: ns/op %v not positive", name, ns)
+		}
+	}
+}
+
 func TestFactoryUnknown(t *testing.T) {
 	if _, err := Factory("nope"); err == nil {
 		t.Fatal("unknown scheme factory created")

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/big"
+	"runtime"
+	"sync"
 
 	"repro/internal/crypto"
 	"repro/internal/ph"
@@ -267,28 +269,93 @@ func (p *PH) DecryptResult(q relation.Eq, r *ph.Result) (*relation.Table, error)
 	return t, nil
 }
 
+// parallelThreshold is the tuple count below which Evaluate stays
+// single-threaded: sharding a small scan across goroutines costs more than
+// the scan itself.
+const parallelThreshold = 1024
+
 // Evaluate is ψ: the key-free server-side search. It is exported for direct
 // use and also registered as the package's ph.Evaluator. A tuple matches if
 // any of its cipherwords of the trapdoor's length matches the trapdoor.
+//
+// Large tables are sharded into contiguous chunks across a
+// runtime.GOMAXPROCS-sized worker pool, one allocation-free swp.Matcher
+// clone per worker; chunk results merge in table order, so the output is
+// byte-identical to the serial scan.
 func Evaluate(et *ph.EncryptedTable, q *ph.EncryptedQuery) (*ph.Result, error) {
-	byLen, err := decodeMeta(et.Meta)
+	td, params, err := decodeQueryToken(et.Meta, q.Token)
 	if err != nil {
 		return nil, err
 	}
-	td, params, err := decodeTrapdoor(byLen, q.Token)
+	n := len(et.Tuples)
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelThreshold || workers < 2 {
+		m := swp.NewMatcher(params, td)
+		positions := scanTuples(et.Tuples, 0, m, make([]int, 0, positionsCap(n)))
+		return ph.SelectPositions(et, positions), nil
+	}
+	chunk := (n + workers - 1) / workers
+	results := make([][]int, workers)
+	base := swp.NewMatcher(params, td)
+	var wg sync.WaitGroup
+	for w := 0; w < workers && w*chunk < n; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w] = scanTuples(et.Tuples[lo:hi], lo, base.Clone(),
+				make([]int, 0, positionsCap(hi-lo)))
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	positions := make([]int, 0, total)
+	for _, r := range results {
+		positions = append(positions, r...)
+	}
+	return ph.SelectPositions(et, positions), nil
+}
+
+// EvaluateSerial is the single-threaded reference implementation of
+// Evaluate. It exists for differential tests and as the before-side of the
+// parallel-speedup benchmarks; Evaluate must always produce the same result.
+func EvaluateSerial(et *ph.EncryptedTable, q *ph.EncryptedQuery) (*ph.Result, error) {
+	td, params, err := decodeQueryToken(et.Meta, q.Token)
 	if err != nil {
 		return nil, err
 	}
-	var positions []int
-	for i, etp := range et.Tuples {
-		for _, cw := range etp.Words {
-			if len(cw) == params.WordLen && swp.Match(params, cw, td) {
-				positions = append(positions, i)
+	m := swp.NewMatcher(params, td)
+	positions := scanTuples(et.Tuples, 0, m, make([]int, 0, positionsCap(len(et.Tuples))))
+	return ph.SelectPositions(et, positions), nil
+}
+
+// scanTuples appends base+i for every tuple in tuples whose document
+// matches, reusing one Matcher across the whole chunk. The Matcher rejects
+// cipherwords of other lengths itself, which is how mixed-width documents
+// (PerColumnWidth layouts) skip non-candidate words.
+func scanTuples(tuples []ph.EncryptedTuple, base int, m *swp.Matcher, hits []int) []int {
+	for i := range tuples {
+		for _, cw := range tuples[i].Words {
+			if m.Match(cw) {
+				hits = append(hits, base+i)
 				break
 			}
 		}
 	}
-	return ph.SelectPositions(et, positions), nil
+	return hits
+}
+
+// positionsCap sizes the hit slice for a scan of n tuples: exact selects
+// usually return a small fraction of the table, so reserve an eighth (plus
+// slack for tiny tables) and let append grow the rare broad result.
+func positionsCap(n int) int {
+	return n/8 + 8
 }
 
 func init() {
@@ -314,36 +381,31 @@ func encodeMeta(params []swp.Params) []byte {
 	return meta
 }
 
-// decodeMeta parses table metadata into a word-length → parameters map.
-func decodeMeta(meta []byte) (map[int]swp.Params, error) {
+// metaPairs validates the metadata header and returns the number of
+// (wordLen, checksumLen) pairs it carries.
+func metaPairs(meta []byte) (int, error) {
 	if len(meta) < 2 {
-		return nil, fmt.Errorf("core: table meta of %d bytes too short", len(meta))
+		return 0, fmt.Errorf("core: table meta of %d bytes too short", len(meta))
 	}
 	if meta[0] != metaVersion {
-		return nil, fmt.Errorf("core: unsupported table meta version %d", meta[0])
+		return 0, fmt.Errorf("core: unsupported table meta version %d", meta[0])
 	}
 	n := int(meta[1])
 	if len(meta) != 2+4*n {
-		return nil, fmt.Errorf("core: table meta of %d bytes does not hold %d parameter pairs", len(meta), n)
+		return 0, fmt.Errorf("core: table meta of %d bytes does not hold %d parameter pairs", len(meta), n)
 	}
 	if n == 0 {
-		return nil, fmt.Errorf("core: table meta declares no word lengths")
+		return 0, fmt.Errorf("core: table meta declares no word lengths")
 	}
-	out := make(map[int]swp.Params, n)
-	for i := 0; i < n; i++ {
-		p := swp.Params{
-			WordLen:     int(binary.BigEndian.Uint16(meta[2+4*i:])),
-			ChecksumLen: int(binary.BigEndian.Uint16(meta[4+4*i:])),
-		}
-		if err := p.Validate(); err != nil {
-			return nil, err
-		}
-		if _, dup := out[p.WordLen]; dup {
-			return nil, fmt.Errorf("core: table meta repeats word length %d", p.WordLen)
-		}
-		out[p.WordLen] = p
+	return n, nil
+}
+
+// metaParam reads parameter pair i from validated metadata.
+func metaParam(meta []byte, i int) swp.Params {
+	return swp.Params{
+		WordLen:     int(binary.BigEndian.Uint16(meta[2+4*i:])),
+		ChecksumLen: int(binary.BigEndian.Uint16(meta[4+4*i:])),
 	}
-	return out, nil
 }
 
 // encodeTrapdoor serialises an SWP trapdoor as X || K; the X length is
@@ -354,15 +416,39 @@ func encodeTrapdoor(td swp.Trapdoor) []byte {
 	return append(out, td.K...)
 }
 
-// decodeTrapdoor parses a serialised trapdoor and resolves its parameters
-// against the table's word lengths.
-func decodeTrapdoor(byLen map[int]swp.Params, token []byte) (swp.Trapdoor, swp.Params, error) {
+// decodeQueryToken parses a serialised trapdoor and resolves its
+// parameters directly against the raw table metadata, with no intermediate
+// word-length map — Evaluate runs once per query, and a map would be the
+// query path's last avoidable per-call allocation. The trapdoor aliases
+// the token (no copies), so the caller must keep the token alive for the
+// trapdoor's life. All parameter pairs are validated and duplicate word
+// lengths rejected before the lookup result is used.
+func decodeQueryToken(meta, token []byte) (swp.Trapdoor, swp.Params, error) {
+	n, err := metaPairs(meta)
+	if err != nil {
+		return swp.Trapdoor{}, swp.Params{}, err
+	}
 	xLen := len(token) - crypto.KeySize
 	if xLen < 2 {
 		return swp.Trapdoor{}, swp.Params{}, fmt.Errorf("core: trapdoor token of %d bytes too short", len(token))
 	}
-	params, ok := byLen[xLen]
-	if !ok {
+	var params swp.Params
+	found := false
+	for i := 0; i < n; i++ {
+		p := metaParam(meta, i)
+		if err := p.Validate(); err != nil {
+			return swp.Trapdoor{}, swp.Params{}, err
+		}
+		for j := 0; j < i; j++ {
+			if metaParam(meta, j).WordLen == p.WordLen {
+				return swp.Trapdoor{}, swp.Params{}, fmt.Errorf("core: table meta repeats word length %d", p.WordLen)
+			}
+		}
+		if p.WordLen == xLen {
+			params, found = p, true
+		}
+	}
+	if !found {
 		return swp.Trapdoor{}, swp.Params{}, fmt.Errorf("core: trapdoor word length %d unknown to this table", xLen)
 	}
 	return swp.Trapdoor{X: token[:xLen], K: token[xLen:]}, params, nil

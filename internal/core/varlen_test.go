@@ -184,17 +184,15 @@ func TestVarlenNarrowColumnClampsChecksum(t *testing.T) {
 
 func TestMetaCodecRoundTrip(t *testing.T) {
 	p := newVarlenPH(t)
-	byLen, err := decodeMeta(p.meta)
-	if err != nil {
-		t.Fatal(err)
-	}
-	params := p.Params()
-	if len(byLen) != len(params) {
-		t.Fatalf("decoded %d lengths, instance has %d", len(byLen), len(params))
-	}
-	for _, want := range params {
-		got, ok := byLen[want.WordLen]
-		if !ok || got != want {
+	for _, want := range p.Params() {
+		// A token of matching length must resolve to exactly these
+		// parameters.
+		token := make([]byte, want.WordLen+crypto.KeySize)
+		_, got, err := decodeQueryToken(p.meta, token)
+		if err != nil {
+			t.Fatalf("decodeQueryToken for word length %d: %v", want.WordLen, err)
+		}
+		if got != want {
 			t.Fatalf("meta round trip lost %+v (got %+v)", want, got)
 		}
 	}
@@ -210,8 +208,9 @@ func TestMetaDecodeErrors(t *testing.T) {
 		{metaVersion, 1, 0, 2, 0, 5}, // checksum >= wordLen
 		{metaVersion, 2, 0, 11, 0, 2, 0, 11, 0, 2}, // duplicate length
 	}
+	token := make([]byte, 11+crypto.KeySize) // matches the 11-byte pairs above
 	for i, m := range cases {
-		if _, err := decodeMeta(m); err == nil {
+		if _, _, err := decodeQueryToken(m, token); err == nil {
 			t.Errorf("case %d: malformed meta %v accepted", i, m)
 		}
 	}
@@ -219,14 +218,10 @@ func TestMetaDecodeErrors(t *testing.T) {
 
 func TestTrapdoorDecodeErrors(t *testing.T) {
 	p := newTestPH(t, Options{})
-	byLen, err := decodeMeta(p.meta)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, _, err := decodeTrapdoor(byLen, make([]byte, 10)); err == nil {
+	if _, _, err := decodeQueryToken(p.meta, make([]byte, 10)); err == nil {
 		t.Fatal("short token accepted")
 	}
-	if _, _, err := decodeTrapdoor(byLen, make([]byte, crypto.KeySize+99)); err == nil {
+	if _, _, err := decodeQueryToken(p.meta, make([]byte, crypto.KeySize+99)); err == nil {
 		t.Fatal("token with unknown word length accepted")
 	}
 }

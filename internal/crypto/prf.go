@@ -16,6 +16,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"sync"
 )
 
 // KeySize is the byte length of all symmetric keys in this repository.
@@ -28,25 +30,91 @@ type Key [KeySize]byte
 // counter-mode output expansion: output block i is
 // HMAC(key, uint32(i) || input). Under the standard PRF assumption on HMAC,
 // outputs of any requested length are indistinguishable from random.
+//
+// A PRF carries one reusable HMAC state (constructed once, Reset per call),
+// so evaluations after the first perform no heap allocations when routed
+// through SumInto. A mutex guards that shared state, so a single PRF stays
+// safe for concurrent use: an uncontended caller takes the zero-alloc fast
+// path, while a caller that finds the state busy falls back to a fresh
+// one-shot HMAC (allocating, but fully parallel — the old stateless
+// behaviour). Hot paths that need zero allocations under concurrency hand
+// each goroutine its own instance via Clone (which is what swp.Matcher
+// does).
 type PRF struct {
-	key Key
+	key     Key
+	mu      sync.Mutex        // guards mac, ctr and scratch
+	mac     hash.Hash         // reusable HMAC-SHA256 state, keyed with key
+	ctr     [4]byte           // counter scratch (a field so it never escapes per call)
+	scratch [sha256.Size]byte // digest scratch for partial-block output
 }
 
 // NewPRF constructs a PRF with the given key.
-func NewPRF(key Key) *PRF { return &PRF{key: key} }
+func NewPRF(key Key) *PRF {
+	return &PRF{key: key, mac: hmac.New(sha256.New, key[:])}
+}
 
-// Sum computes the PRF of input truncated or expanded to n bytes.
-func (p *PRF) Sum(input []byte, n int) []byte {
-	out := make([]byte, 0, n)
+// Clone returns an independent PRF with the same key. Use it to hand each
+// worker goroutine its own evaluation state.
+func (p *PRF) Clone() *PRF { return NewPRF(p.key) }
+
+// SumInto computes the PRF of input and writes exactly len(dst) bytes of
+// output into dst. It is the zero-allocation core of the PRF: the HMAC
+// state is reused across calls, and output lands in caller-owned memory.
+func (p *PRF) SumInto(dst, input []byte) {
+	if !p.mu.TryLock() {
+		// The shared state is busy: compute with a fresh one-shot HMAC
+		// instead of queueing, so concurrent callers of one PRF keep the
+		// old stateless path's full parallelism.
+		sumOneShot(hmac.New(sha256.New, p.key[:]), dst, input)
+		return
+	}
+	defer p.mu.Unlock()
+	if p.mac == nil {
+		// Zero-value PRFs (not built by NewPRF) still work; they just pay
+		// the construction cost on first use.
+		p.mac = hmac.New(sha256.New, p.key[:])
+	}
+	for block, off := uint32(0), 0; off < len(dst); block++ {
+		p.mac.Reset()
+		binary.BigEndian.PutUint32(p.ctr[:], block)
+		p.mac.Write(p.ctr[:])
+		p.mac.Write(input)
+		if len(dst)-off >= sha256.Size {
+			p.mac.Sum(dst[off:off:len(dst)])
+			off += sha256.Size
+		} else {
+			s := p.mac.Sum(p.scratch[:0])
+			off += copy(dst[off:], s)
+		}
+	}
+}
+
+// sumOneShot is the counter-mode expansion over a caller-owned HMAC state,
+// used by the contention fallback.
+func sumOneShot(mac hash.Hash, dst, input []byte) {
 	var ctr [4]byte
-	for block := uint32(0); len(out) < n; block++ {
-		mac := hmac.New(sha256.New, p.key[:])
+	var scratch [sha256.Size]byte
+	for block, off := uint32(0), 0; off < len(dst); block++ {
+		mac.Reset()
 		binary.BigEndian.PutUint32(ctr[:], block)
 		mac.Write(ctr[:])
 		mac.Write(input)
-		out = mac.Sum(out)
+		s := mac.Sum(scratch[:0])
+		off += copy(dst[off:], s)
 	}
-	return out[:n]
+}
+
+// ChecksumInto writes the m-byte SWP-style checksum F_k(input) into dst
+// (m = len(dst)). It is SumInto under the name the searchable-encryption
+// layer uses for it; the distinct name keeps call sites self-describing.
+func (p *PRF) ChecksumInto(dst, input []byte) { p.SumInto(dst, input) }
+
+// Sum computes the PRF of input truncated or expanded to n bytes. It is a
+// thin allocating wrapper over SumInto.
+func (p *PRF) Sum(input []byte, n int) []byte {
+	out := make([]byte, n)
+	p.SumInto(out, input)
+	return out
 }
 
 // SumStrings is a convenience wrapper that evaluates the PRF on the

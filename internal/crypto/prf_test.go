@@ -2,6 +2,7 @@ package crypto
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -103,6 +104,84 @@ func TestCheckKeyLen(t *testing.T) {
 	}
 	if err := CheckKeyLen(make([]byte, KeySize-1)); err == nil {
 		t.Fatal("CheckKeyLen accepted a short key")
+	}
+}
+
+func TestSumIntoMatchesSum(t *testing.T) {
+	p := NewPRF(testKey(8))
+	for _, n := range []int{0, 1, 2, 16, 31, 32, 33, 64, 100, 257} {
+		want := p.Sum([]byte("agree"), n)
+		dst := make([]byte, n)
+		p.SumInto(dst, []byte("agree"))
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("SumInto(%d bytes) = %x, Sum = %x", n, dst, want)
+		}
+	}
+}
+
+func TestSumIntoZeroValuePRF(t *testing.T) {
+	// A zero-value PRF (not built by NewPRF) must still evaluate, lazily
+	// constructing its HMAC state.
+	var p PRF
+	dst := make([]byte, 16)
+	p.SumInto(dst, []byte("lazy"))
+	var fresh Key
+	if !bytes.Equal(dst, NewPRF(fresh).Sum([]byte("lazy"), 16)) {
+		t.Fatal("zero-value PRF disagrees with NewPRF of the zero key")
+	}
+}
+
+func TestChecksumIntoAliasesSumInto(t *testing.T) {
+	p := NewPRF(testKey(9))
+	a := make([]byte, 2)
+	b := make([]byte, 2)
+	p.ChecksumInto(a, []byte("stream"))
+	p.SumInto(b, []byte("stream"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("ChecksumInto disagrees with SumInto")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewPRF(testKey(10))
+	c := p.Clone()
+	if !bytes.Equal(p.Sum([]byte("x"), 32), c.Sum([]byte("x"), 32)) {
+		t.Fatal("clone computes a different function")
+	}
+}
+
+func TestSumIntoZeroAllocs(t *testing.T) {
+	p := NewPRF(testKey(11))
+	input := []byte("some fourteen-byte-ish input")
+	dst := make([]byte, 48) // exercises both full-block and partial paths
+	p.SumInto(dst, input)   // warm up
+	if allocs := testing.AllocsPerRun(200, func() { p.SumInto(dst, input) }); allocs != 0 {
+		t.Fatalf("SumInto allocates %v objects per run, want 0", allocs)
+	}
+}
+
+func TestPRFConcurrentUse(t *testing.T) {
+	// A single PRF must stay usable from many goroutines (client code
+	// encrypting in parallel shares scheme-held PRFs); the shared HMAC
+	// state is mutex-guarded. Run under -race.
+	p := NewPRF(testKey(12))
+	want := p.Sum([]byte("shared"), 32)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 100; i++ {
+				if !bytes.Equal(p.Sum([]byte("shared"), 32), want) {
+					done <- fmt.Errorf("concurrent Sum returned a corrupted value")
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -135,6 +135,71 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 }
 
+// batchFanout caps how many of a batched-query frame's queries are in
+// flight at once. Each in-flight query may itself fan out across the
+// evaluator's GOMAXPROCS worker pool, so this bounds goroutine count per
+// frame at batchFanout×GOMAXPROCS, not CPU share — CPU stays mediated by
+// the runtime's GOMAXPROCS threads across all clients. A per-server
+// evaluation budget shared with core.Evaluate would bound it tighter; see
+// ROADMAP.
+const batchFanout = 4
+
+// queryBatch evaluates a batch of queries against one table, fanning the
+// evaluations out across up to batchFanout goroutines. Since the storage
+// layer only takes the table's read lock per query, batched queries now
+// run concurrently with each other and with other clients' traffic —
+// nothing serialises on unrelated tables. Results keep the request order;
+// on failure the lowest-index error wins and the batch fails as a unit,
+// exactly as the serial loop behaved.
+func (s *Server) queryBatch(name string, queries []*ph.EncryptedQuery) ([]*ph.Result, error) {
+	results := make([]*ph.Result, len(queries))
+	if len(queries) <= 1 {
+		for i, q := range queries {
+			res, err := s.store.Query(name, q)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, batchFanout)
+	for i, q := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q *ph.EncryptedQuery) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = s.store.Query(name, q)
+		}(i, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// clampCount bounds a wire-declared element count by what the remaining
+// payload could possibly hold, for use as a slice preallocation hint. The
+// decode loop still reads exactly the declared count; this only stops a
+// hostile count in a small frame from forcing a huge allocation.
+func clampCount(declared uint32, possible int) int {
+	if possible < 0 {
+		possible = 0
+	}
+	// Compare in uint64: int(declared) would go negative on 32-bit
+	// platforms for counts above MaxInt32 and panic make().
+	if uint64(declared) < uint64(possible) {
+		return int(declared)
+	}
+	return possible
+}
+
 // dispatch executes one command frame and builds the response frame.
 func (s *Server) dispatch(f wire.Frame) wire.Frame {
 	resp, err := s.handle(f)
@@ -171,7 +236,7 @@ func (s *Server) handle(f wire.Frame) (wire.Frame, error) {
 		if err != nil {
 			return wire.Frame{}, err
 		}
-		tuples := make([]ph.EncryptedTuple, 0, n)
+		tuples := make([]ph.EncryptedTuple, 0, clampCount(n, r.Remaining()/8))
 		for i := uint32(0); i < n; i++ {
 			tp, err := wire.DecodeTuple(r)
 			if err != nil {
@@ -208,16 +273,23 @@ func (s *Server) handle(f wire.Frame) (wire.Frame, error) {
 		if err != nil {
 			return wire.Frame{}, err
 		}
-		payload := wire.AppendU32(nil, n)
+		// Capacity is clamped by what the payload could possibly encode
+		// (a query is at least two length-prefixed fields), so a declared
+		// count in a hostile frame cannot force a huge allocation.
+		queries := make([]*ph.EncryptedQuery, 0, clampCount(n, r.Remaining()/8))
 		for i := uint32(0); i < n; i++ {
 			q, err := wire.DecodeQuery(r)
 			if err != nil {
 				return wire.Frame{}, err
 			}
-			res, err := s.store.Query(name, q)
-			if err != nil {
-				return wire.Frame{}, err
-			}
+			queries = append(queries, q)
+		}
+		results, err := s.queryBatch(name, queries)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		payload := wire.AppendU32(nil, n)
+		for _, res := range results {
 			payload = wire.EncodeResult(payload, res)
 		}
 		return wire.Frame{Type: wire.RespResults, Payload: payload}, nil

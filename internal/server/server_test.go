@@ -237,3 +237,76 @@ func TestConcurrentClients(t *testing.T) {
 		}
 	}
 }
+
+func batchFrame(name string, qs []*ph.EncryptedQuery) wire.Frame {
+	payload := wire.AppendString(nil, name)
+	payload = wire.AppendU32(payload, uint32(len(qs)))
+	for _, q := range qs {
+		payload = wire.EncodeQuery(payload, q)
+	}
+	return wire.Frame{Type: wire.CmdQueryBatch, Payload: payload}
+}
+
+func TestQueryBatchParallelKeepsOrder(t *testing.T) {
+	store := testStore(t)
+	s := New(store, nil)
+	if resp := s.dispatch(storeFrame("emp", encTable(3))); resp.Type != wire.RespOK {
+		t.Fatalf("store: %#x %s", resp.Type, resp.Payload)
+	}
+	// More queries than batchFanout so the semaphore path is exercised.
+	qs := make([]*ph.EncryptedQuery, 9)
+	for i := range qs {
+		qs[i] = &ph.EncryptedQuery{SchemeID: "server-test", Token: []byte{byte(i)}}
+	}
+	resp := s.dispatch(batchFrame("emp", qs))
+	if resp.Type != wire.RespResults {
+		t.Fatalf("batch response %#x: %s", resp.Type, resp.Payload)
+	}
+	r := wire.NewBuffer(resp.Payload)
+	n, err := r.U32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != len(qs) {
+		t.Fatalf("batch returned %d results, want %d", n, len(qs))
+	}
+	for i := uint32(0); i < n; i++ {
+		res, err := wire.DecodeResult(r)
+		if err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if len(res.Positions) != 1 || res.Positions[0] != 0 {
+			t.Fatalf("result %d positions %v, want [0]", i, res.Positions)
+		}
+	}
+}
+
+func TestQueryBatchUnknownTableFailsAsUnit(t *testing.T) {
+	s := New(testStore(t), nil)
+	qs := []*ph.EncryptedQuery{
+		{SchemeID: "server-test", Token: []byte{1}},
+		{SchemeID: "server-test", Token: []byte{2}},
+	}
+	resp := s.dispatch(batchFrame("nope", qs))
+	if resp.Type != wire.RespError {
+		t.Fatalf("batch on unknown table: response %#x, want error", resp.Type)
+	}
+}
+
+func TestHostileCountsDoNotAllocate(t *testing.T) {
+	// A frame may declare a huge element count with a tiny payload; the
+	// decode loop must fail on the short buffer instead of preallocating
+	// count-proportional memory (a remote OOM otherwise).
+	s := New(testStore(t), nil)
+	if resp := s.dispatch(storeFrame("emp", encTable(1))); resp.Type != wire.RespOK {
+		t.Fatalf("store: %#x", resp.Type)
+	}
+	for _, cmd := range []byte{wire.CmdQueryBatch, wire.CmdInsert} {
+		payload := wire.AppendString(nil, "emp")
+		payload = wire.AppendU32(payload, 0xFFFFFFFF) // declared count
+		resp := s.dispatch(wire.Frame{Type: cmd, Payload: payload})
+		if resp.Type != wire.RespError {
+			t.Fatalf("cmd %#x with hostile count: response %#x, want error", cmd, resp.Type)
+		}
+	}
+}

@@ -7,6 +7,16 @@
 // log as a length-prefixed record and the log is replayed on open. A
 // partially written trailing record (crash mid-append) is detected and
 // truncated away, mirroring the recovery discipline of write-ahead logs.
+//
+// Locking model: the store-level RWMutex guards only the catalogue map and
+// the log; each table carries its own RWMutex guarding its tuple data.
+// Query therefore holds no store-wide lock while evaluating — possibly a
+// long multi-core table scan — so concurrent clients' queries proceed in
+// parallel, and queries against one table never serialise behind
+// mutations of an unrelated one. Lock order is strictly store before
+// table for writers and readers alike (List and Compact nest a table
+// read lock inside the store lock); nothing may take the store lock
+// while holding a table lock.
 package storage
 
 import (
@@ -27,23 +37,29 @@ const (
 	opDrop   byte = 0x03
 )
 
+// tableEntry is one catalogued table with its own reader/writer lock.
+type tableEntry struct {
+	mu sync.RWMutex
+	t  *ph.EncryptedTable
+}
+
 // Store is the server-side catalogue of encrypted tables.
 type Store struct {
-	mu     sync.RWMutex
-	tables map[string]*ph.EncryptedTable
+	mu     sync.RWMutex // guards tables (the map itself) and log
+	tables map[string]*tableEntry
 	log    *os.File // nil for pure in-memory stores
 	path   string
 }
 
 // NewMemory creates a volatile in-memory store.
 func NewMemory() *Store {
-	return &Store{tables: make(map[string]*ph.EncryptedTable)}
+	return &Store{tables: make(map[string]*tableEntry)}
 }
 
 // Open creates a durable store backed by the append-only log at path,
 // replaying any existing log.
 func Open(path string) (*Store, error) {
-	s := &Store{tables: make(map[string]*ph.EncryptedTable), path: path}
+	s := &Store{tables: make(map[string]*tableEntry), path: path}
 	if err := s.replay(path); err != nil {
 		return nil, err
 	}
@@ -65,6 +81,20 @@ func (s *Store) Close() error {
 	err := s.log.Close()
 	s.log = nil
 	return err
+}
+
+// entry looks up a table's entry under the store read lock. The returned
+// entry stays valid after the store lock is released: a concurrent Drop or
+// Put only unlinks it from the map, and readers still holding it finish
+// against the snapshot they found.
+func (s *Store) entry(name string) (*tableEntry, error) {
+	s.mu.RLock()
+	e, ok := s.tables[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	return e, nil
 }
 
 // replay loads the log at path into memory, truncating a torn trailing
@@ -115,7 +145,8 @@ func (s *Store) replay(path string) error {
 	return nil
 }
 
-// applyRecord applies one replayed record to the in-memory state.
+// applyRecord applies one replayed record to the in-memory state. Replay
+// runs before the store is shared, so no table locks are needed.
 func (s *Store) applyRecord(op byte, payload []byte) error {
 	r := wire.NewBuffer(payload)
 	switch op {
@@ -128,13 +159,13 @@ func (s *Store) applyRecord(op byte, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		s.tables[name] = t
+		s.tables[name] = &tableEntry{t: t}
 	case opInsert:
 		name, err := r.String()
 		if err != nil {
 			return err
 		}
-		t, ok := s.tables[name]
+		e, ok := s.tables[name]
 		if !ok {
 			return fmt.Errorf("storage: insert into unknown table %q", name)
 		}
@@ -147,7 +178,7 @@ func (s *Store) applyRecord(op byte, payload []byte) error {
 			if err != nil {
 				return err
 			}
-			t.Tuples = append(t.Tuples, tp)
+			e.t.Tuples = append(e.t.Tuples, tp)
 		}
 	case opDrop:
 		name, err := r.String()
@@ -176,7 +207,9 @@ func (s *Store) appendRecord(op byte, payload []byte) error {
 	return nil
 }
 
-// Put stores (or replaces) the encrypted table under name.
+// Put stores (or replaces) the encrypted table under name. Replacement
+// installs a fresh entry; queries still running against a replaced table
+// finish on the snapshot they started with.
 func (s *Store) Put(name string, t *ph.EncryptedTable) error {
 	if name == "" {
 		return fmt.Errorf("storage: empty table name")
@@ -188,17 +221,19 @@ func (s *Store) Put(name string, t *ph.EncryptedTable) error {
 	if err := s.appendRecord(opStore, payload); err != nil {
 		return err
 	}
-	s.tables[name] = t.Clone()
+	s.tables[name] = &tableEntry{t: t.Clone()}
 	return nil
 }
 
 // Append adds encrypted tuples to an existing table. The tuples must carry
 // the same scheme as the stored table (enforced by the caller protocol:
-// they're opaque here).
+// they're opaque here). The store lock covers the log write; the table's
+// own write lock covers the tuple mutation, excluding only that table's
+// readers.
 func (s *Store) Append(name string, tuples []ph.EncryptedTuple) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, ok := s.tables[name]
+	e, ok := s.tables[name]
 	if !ok {
 		return fmt.Errorf("storage: unknown table %q", name)
 	}
@@ -210,31 +245,36 @@ func (s *Store) Append(name string, tuples []ph.EncryptedTuple) error {
 	if err := s.appendRecord(opInsert, payload); err != nil {
 		return err
 	}
-	t.Tuples = append(t.Tuples, tuples...)
+	e.mu.Lock()
+	e.t.Tuples = append(e.t.Tuples, tuples...)
+	e.mu.Unlock()
 	return nil
 }
 
 // Get returns a deep copy of the named table.
 func (s *Store) Get(name string) (*ph.EncryptedTable, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("storage: unknown table %q", name)
+	e, err := s.entry(name)
+	if err != nil {
+		return nil, err
 	}
-	return t.Clone(), nil
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.t.Clone(), nil
 }
 
 // Query evaluates the encrypted query against the named table via the
-// key-free evaluator registry.
+// key-free evaluator registry. It holds only the table's read lock for the
+// duration of the evaluation, so queries on distinct tables — and multiple
+// queries on the same table — run fully in parallel, and none of them
+// block the catalogue.
 func (s *Store) Query(name string, q *ph.EncryptedQuery) (*ph.Result, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("storage: unknown table %q", name)
+	e, err := s.entry(name)
+	if err != nil {
+		return nil, err
 	}
-	return ph.Apply(t, q)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return ph.Apply(e.t, q)
 }
 
 // Drop removes the named table.
@@ -273,8 +313,11 @@ func (s *Store) Compact() error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		e := s.tables[name]
+		e.mu.RLock()
 		payload := wire.AppendString(nil, name)
-		payload = wire.EncodeTable(payload, s.tables[name])
+		payload = wire.EncodeTable(payload, e.t)
+		e.mu.RUnlock()
 		hdr := []byte{
 			byte(len(payload) >> 24), byte(len(payload) >> 16),
 			byte(len(payload) >> 8), byte(len(payload)), opStore,
@@ -328,8 +371,10 @@ func (s *Store) List() []wire.TableInfo {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	infos := make([]wire.TableInfo, 0, len(s.tables))
-	for name, t := range s.tables {
-		infos = append(infos, wire.TableInfo{Name: name, SchemeID: t.SchemeID, Tuples: len(t.Tuples)})
+	for name, e := range s.tables {
+		e.mu.RLock()
+		infos = append(infos, wire.TableInfo{Name: name, SchemeID: e.t.SchemeID, Tuples: len(e.t.Tuples)})
+		e.mu.RUnlock()
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	return infos

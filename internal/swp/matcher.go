@@ -1,0 +1,93 @@
+package swp
+
+import (
+	"bytes"
+
+	"repro/internal/crypto"
+)
+
+// Matcher is the allocation-free form of the server-side match test. It
+// precomputes everything derivable from a (Params, Trapdoor) pair once —
+// geometry checks, the checksum PRF keyed by the trapdoor's word key — and
+// carries the per-evaluation scratch buffers, so Match performs zero heap
+// allocations per call. One Matcher amortises that setup over an entire
+// table scan, which is exactly the server's hot path: every exact-select
+// tests one trapdoor against every cipherword of every tuple.
+//
+// A Matcher is NOT safe for concurrent use (the scratch buffers and the
+// PRF state are reused across calls); hand each worker goroutine its own
+// instance via Clone.
+type Matcher struct {
+	p     Params
+	x     []byte      // trapdoor pre-encryption, WordLen bytes
+	kprf  *crypto.PRF // checksum PRF keyed by the trapdoor word key
+	valid bool        // geometry checks passed at construction
+
+	stream []byte // scratch: candidate stream chunk, n-m bytes
+	want   []byte // scratch: checksum implied by the cipherword, m bytes
+	got    []byte // scratch: recomputed checksum, m bytes
+}
+
+// NewMatcher builds a Matcher for the trapdoor. An ill-formed pair (bad
+// trapdoor lengths, bad parameters) yields a Matcher whose Match always
+// reports false, mirroring the behaviour of the package-level Match.
+func NewMatcher(p Params, td Trapdoor) *Matcher {
+	m := &Matcher{p: p}
+	if p.Validate() != nil || len(td.X) != p.WordLen || len(td.K) != crypto.KeySize {
+		return m
+	}
+	m.valid = true
+	m.x = td.X
+	m.kprf = crypto.NewPRF(crypto.KeyFromBytes(td.K))
+	nm := p.streamLen()
+	m.stream = make([]byte, nm)
+	m.want = make([]byte, p.ChecksumLen)
+	m.got = make([]byte, p.ChecksumLen)
+	return m
+}
+
+// Clone returns an independent Matcher for the same trapdoor, with its own
+// scratch buffers and PRF state. Use it to run one table scan per worker
+// goroutine.
+func (m *Matcher) Clone() *Matcher {
+	c := &Matcher{p: m.p, x: m.x, valid: m.valid}
+	if !m.valid {
+		return c
+	}
+	c.kprf = m.kprf.Clone()
+	c.stream = make([]byte, len(m.stream))
+	c.want = make([]byte, len(m.want))
+	c.got = make([]byte, len(m.got))
+	return c
+}
+
+// Match reports whether the ciphertext word matches the trapdoor: whether
+// C ⊕ X has the form ⟨s, F_k(s)⟩. It uses no secret keys — only trapdoor
+// material — and performs no heap allocations. A non-matching word passes
+// with probability 2^(-8m) (a false positive).
+func (m *Matcher) Match(cipherword []byte) bool {
+	if !m.valid || len(cipherword) != m.p.WordLen {
+		return false
+	}
+	nm := len(m.stream)
+	for i := 0; i < nm; i++ {
+		m.stream[i] = cipherword[i] ^ m.x[i]
+	}
+	for i := range m.want {
+		m.want[i] = cipherword[nm+i] ^ m.x[nm+i]
+	}
+	m.kprf.ChecksumInto(m.got, m.stream)
+	return bytes.Equal(m.got, m.want)
+}
+
+// Search appends the positions of all cipherwords matching the trapdoor to
+// hits and returns the extended slice. Passing a reused hits[:0] keeps a
+// whole scan allocation-free once the slice has grown to its working size.
+func (m *Matcher) Search(cipherwords [][]byte, hits []int) []int {
+	for i, cw := range cipherwords {
+		if m.Match(cw) {
+			hits = append(hits, i)
+		}
+	}
+	return hits
+}

@@ -1,0 +1,180 @@
+package swp
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/crypto"
+)
+
+func matcherFixture(t testing.TB, p Params) (*Scheme, [][]byte, Trapdoor) {
+	t.Helper()
+	var key crypto.Key
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	s, err := New(key, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	words := make([][]byte, 256)
+	for i := range words {
+		w := make([]byte, p.WordLen)
+		for j := range w {
+			w[j] = byte(rng.Intn(200))
+		}
+		words[i] = w
+	}
+	// Plant a known word at a few positions.
+	needle := bytes.Repeat([]byte{0xAB}, p.WordLen)
+	for _, pos := range []int{3, 77, 200} {
+		words[pos] = needle
+	}
+	cws, err := s.EncryptDocument([]byte("doc"), words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := s.NewTrapdoor(needle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, cws, td
+}
+
+func TestMatcherAgreesWithMatch(t *testing.T) {
+	p := Params{WordLen: 16, ChecksumLen: 2}
+	s, cws, td := matcherFixture(t, p)
+	m := NewMatcher(s.Params(), td)
+	for i, cw := range cws {
+		if m.Match(cw) != Match(s.Params(), cw, td) {
+			t.Fatalf("Matcher and Match disagree at position %d", i)
+		}
+	}
+	hits := m.Search(cws, nil)
+	want := SearchDocument(s.Params(), cws, td)
+	if len(hits) != len(want) {
+		t.Fatalf("Search found %v, SearchDocument %v", hits, want)
+	}
+	for i := range hits {
+		if hits[i] != want[i] {
+			t.Fatalf("Search found %v, SearchDocument %v", hits, want)
+		}
+	}
+	if len(hits) < 3 {
+		t.Fatalf("planted word found only at %v, want ≥ 3 positions", hits)
+	}
+}
+
+func TestMatcherRejectsBadGeometry(t *testing.T) {
+	p := Params{WordLen: 16, ChecksumLen: 2}
+	_, cws, td := matcherFixture(t, p)
+
+	// Wrong cipherword length.
+	if NewMatcher(p, td).Match(cws[0][:10]) {
+		t.Fatal("matched a short cipherword")
+	}
+	// Truncated trapdoor X.
+	if NewMatcher(p, Trapdoor{X: td.X[:10], K: td.K}).Match(cws[3]) {
+		t.Fatal("matched with a short trapdoor X")
+	}
+	// Truncated key.
+	if NewMatcher(p, Trapdoor{X: td.X, K: td.K[:16]}).Match(cws[3]) {
+		t.Fatal("matched with a short trapdoor key")
+	}
+	// Invalid parameters.
+	if NewMatcher(Params{WordLen: 1, ChecksumLen: 1}, td).Match(cws[3]) {
+		t.Fatal("matched under invalid parameters")
+	}
+	// An invalid Matcher must clone safely and stay invalid.
+	c := NewMatcher(p, Trapdoor{}).Clone()
+	if c.Match(cws[3]) {
+		t.Fatal("clone of invalid matcher matched")
+	}
+}
+
+func TestMatcherCloneConcurrent(t *testing.T) {
+	p := Params{WordLen: 12, ChecksumLen: 3}
+	_, cws, td := matcherFixture(t, p)
+	base := NewMatcher(p, td)
+	want := base.Search(cws, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := base.Clone()
+			for rep := 0; rep < 20; rep++ {
+				got := m.Search(cws, nil)
+				if len(got) != len(want) {
+					t.Errorf("concurrent clone found %v, want %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMatchZeroAllocs(t *testing.T) {
+	p := Params{WordLen: 16, ChecksumLen: 2}
+	_, cws, td := matcherFixture(t, p)
+	m := NewMatcher(p, td)
+	m.Match(cws[0]) // warm up
+	allocs := testing.AllocsPerRun(500, func() {
+		for _, cw := range cws[:32] {
+			m.Match(cw)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Matcher.Match allocates %v objects per 32-word scan, want 0", allocs)
+	}
+}
+
+func TestFalsePositiveRatePinned(t *testing.T) {
+	// Satellite: 2^(-8m) via math.Ldexp, pinned for m = 1..4.
+	want := map[int]float64{
+		1: 1.0 / 256,
+		2: 1.0 / 65536,
+		3: 1.0 / 16777216,
+		4: 1.0 / 4294967296,
+	}
+	for m, w := range want {
+		p := Params{WordLen: 8, ChecksumLen: m}
+		if got := p.FalsePositiveRate(); got != w {
+			t.Errorf("FalsePositiveRate(m=%d) = %g, want %g", m, got, w)
+		}
+		if got := p.FalsePositiveRate(); got != math.Ldexp(1, -8*m) {
+			t.Errorf("FalsePositiveRate(m=%d) disagrees with Ldexp", m)
+		}
+	}
+}
+
+// BenchmarkMatch measures the per-cipherword cost of the server-side test
+// through a reused Matcher — the unit the table-scan engine multiplies by
+// (tuples × words). The headline figure is 0 allocs/op.
+func BenchmarkMatch(b *testing.B) {
+	p := Params{WordLen: 16, ChecksumLen: 2}
+	_, cws, td := matcherFixture(b, p)
+	m := NewMatcher(p, td)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Match(cws[i%len(cws)])
+	}
+}
+
+// BenchmarkMatchLegacy is the pre-Matcher path (fresh trapdoor state per
+// call) kept as the before-side of the allocs/op comparison.
+func BenchmarkMatchLegacy(b *testing.B) {
+	p := Params{WordLen: 16, ChecksumLen: 2}
+	_, cws, td := matcherFixture(b, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Match(p, cws[i%len(cws)], td)
+	}
+}

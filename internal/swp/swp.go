@@ -25,8 +25,8 @@
 package swp
 
 import (
-	"bytes"
 	"fmt"
+	"math"
 
 	"repro/internal/crypto"
 )
@@ -59,11 +59,7 @@ func (p Params) streamLen() int { return p.WordLen - p.ChecksumLen }
 // FalsePositiveRate returns the theoretical per-slot false positive
 // probability 2^(-8m).
 func (p Params) FalsePositiveRate() float64 {
-	rate := 1.0
-	for i := 0; i < p.ChecksumLen*8; i++ {
-		rate /= 2
-	}
-	return rate
+	return math.Ldexp(1, -8*p.ChecksumLen)
 }
 
 // Scheme holds the secret keys and parameters of one SWP instance.
@@ -254,31 +250,15 @@ func (s *Scheme) NewTrapdoor(word []byte) (Trapdoor, error) {
 // matches the trapdoor. It uses no secret keys — only the trapdoor and the
 // public parameters — which is what makes the scheme outsourceable. A
 // non-matching word passes with probability 2^(-8m) (a false positive).
+//
+// Match constructs a fresh Matcher per call; callers testing one trapdoor
+// against many words should build a Matcher once instead.
 func Match(p Params, cipherword []byte, td Trapdoor) bool {
-	if len(cipherword) != p.WordLen || len(td.X) != p.WordLen || len(td.K) != crypto.KeySize {
-		return false
-	}
-	nm := p.streamLen()
-	stream := make([]byte, nm)
-	for i := 0; i < nm; i++ {
-		stream[i] = cipherword[i] ^ td.X[i]
-	}
-	want := make([]byte, p.ChecksumLen)
-	for i := 0; i < p.ChecksumLen; i++ {
-		want[i] = cipherword[nm+i] ^ td.X[nm+i]
-	}
-	got := checksum(crypto.KeyFromBytes(td.K), stream, p.ChecksumLen)
-	return bytes.Equal(got, want)
+	return NewMatcher(p, td).Match(cipherword)
 }
 
 // SearchDocument returns the positions of all cipherwords in the document
 // that match the trapdoor. Server-side, key-free.
 func SearchDocument(p Params, cipherwords [][]byte, td Trapdoor) []int {
-	var hits []int
-	for i, cw := range cipherwords {
-		if Match(p, cw, td) {
-			hits = append(hits, i)
-		}
-	}
-	return hits
+	return NewMatcher(p, td).Search(cipherwords, nil)
 }

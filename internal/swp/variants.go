@@ -1,7 +1,6 @@
 package swp
 
 import (
-	"bytes"
 	"fmt"
 
 	"repro/internal/crypto"
@@ -102,21 +101,11 @@ func (s *BasicScheme) NewTrapdoor(word []byte) (BasicTrapdoor, error) {
 
 // BasicMatch is the server-side test for Scheme I: it works for *any*
 // candidate word once it holds the key — which is exactly the dictionary
-// attack the trapdoor enables (see TestBasicSchemeDictionaryAttack).
+// attack the trapdoor enables (see TestBasicSchemeDictionaryAttack). The
+// test is algebraically the final scheme's with ⟨candidate, key⟩ in the
+// trapdoor slots, so all variant match tests ride the same Matcher engine.
 func BasicMatch(p Params, cipherword, candidate, fKey []byte) bool {
-	if len(cipherword) != p.WordLen || len(candidate) != p.WordLen || len(fKey) != crypto.KeySize {
-		return false
-	}
-	nm := p.streamLen()
-	stream := make([]byte, nm)
-	for i := 0; i < nm; i++ {
-		stream[i] = cipherword[i] ^ candidate[i]
-	}
-	want := make([]byte, p.ChecksumLen)
-	for i := 0; i < p.ChecksumLen; i++ {
-		want[i] = cipherword[nm+i] ^ candidate[nm+i]
-	}
-	return bytes.Equal(checksum(crypto.KeyFromBytes(fKey), stream, p.ChecksumLen), want)
+	return NewMatcher(p, Trapdoor{X: candidate, K: fKey}).Match(cipherword)
 }
 
 // ControlledScheme is SWP Scheme II: the checksum key is derived per word,
