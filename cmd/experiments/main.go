@@ -21,13 +21,14 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e13); empty = all")
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e14); empty = all")
 		outPath  = flag.String("o", "", "also write the output to this file")
 		trials   = flag.Int("trials", 200, "game trials per cell (E1, E4)")
 		patients = flag.Int("patients", 400, "patients per hospital table (E2, E3)")
 		infTr    = flag.Int("inference-trials", 50, "trials for the inference attacks (E2, E3)")
 		slots    = flag.Int("slots", 200000, "word slots probed per checksum width (E5)")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+		jsonOut  = flag.Bool("json", false, "emit JSON (one object per experiment)")
 		quick    = flag.Bool("quick", false, "small parameters for a fast smoke run")
 		seed     = flag.Int64("seed", 1, "deterministic experiment seed")
 	)
@@ -42,6 +43,7 @@ func main() {
 	sizes := []int{100, 1000, 10000}
 	e8sizes := []int{100, 1000, 10000, 100000}
 	e13Tuples := 10000
+	e14Clients := 8
 	if *quick {
 		sizes = []int{100, 1000}
 		e8sizes = []int{100, 1000}
@@ -74,6 +76,7 @@ func main() {
 		{"e11", func() (*bench.Table, error) { return bench.RunE11(*patients, *infTr, *seed) }},
 		{"e12", func() (*bench.Table, error) { return bench.RunE12(*patients, 20, *seed) }},
 		{"e13", func() (*bench.Table, error) { return bench.RunE13(e13Tuples, *seed) }},
+		{"e14", func() (*bench.Table, error) { return bench.RunE14(e13Tuples, e14Clients, *seed) }},
 	}
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -94,9 +97,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.id, err)
 			os.Exit(1)
 		}
-		if *markdown {
+		switch {
+		case *jsonOut:
+			if err := table.JSON(out); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.id, err)
+				os.Exit(1)
+			}
+		case *markdown:
 			table.Markdown(out)
-		} else {
+		default:
 			table.Fprint(out)
 		}
 	}

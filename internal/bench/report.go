@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -83,6 +84,14 @@ func (t *Table) Markdown(w io.Writer) {
 		fmt.Fprintf(w, "> %s\n", n)
 	}
 	fmt.Fprintln(w)
+}
+
+// JSON renders the table as an indented JSON object, for machine-read
+// artifacts (e.g. the CI-uploaded E14 report).
+func (t *Table) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
 }
 
 // pad right-pads s to width.

@@ -1,0 +1,263 @@
+// Package cache implements the server-side query result cache: a bounded
+// LRU mapping (table, trapdoor digest) to the hit positions of a previous
+// scan, together with the table version and prefix length that scan
+// covered.
+//
+// Why caching is sound: the paper's trapdoors (and every other scheme's
+// search tokens in this repository) are deterministic per plaintext word,
+// and the server-side evaluator ψ is a deterministic, tuple-local scan.
+// Repeating a hot query is therefore pure recomputation, and the server
+// may memoise it without learning anything it was not already shown — the
+// result positions ARE the access pattern the scheme reveals per query by
+// construction (ph.Result carries them on the wire). The cache key is a
+// SHA-256 digest of the opaque token, so the cache stores no more of the
+// token than the server already holds, and colliding keys would require
+// colliding digests.
+//
+// Delta scans: entries record how many tuples of the table they scanned
+// (Scanned) and at which table version (Version). Tables mutate in two
+// ways only — destructive replacement (storage.Put/Drop, which invalidates
+// the table's entries) and append (which bumps the version but leaves the
+// scanned prefix intact). After appends, a cached entry's positions are
+// still exact for the first Scanned tuples, so the caller re-scans only
+// tuples[Scanned:] and merges — O(tail) instead of O(n). The lineage
+// check entry.Version >= base (the version at which the current table
+// object was installed) rejects entries that survived a racing
+// replacement: an in-flight query on a replaced snapshot may still store
+// its result after the invalidation, but it stores it with a pre-
+// replacement version, which the base check discards.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/ph"
+)
+
+// DefaultMaxBytes is the default cache capacity: roughly the memory the
+// cached position slices may hold. Small by design — entries are position
+// lists, not tuples, so even the default holds millions of hit positions.
+const DefaultMaxBytes = 8 << 20
+
+// Outcome classifies a Lookup.
+type Outcome int
+
+const (
+	// Miss: no usable entry; the caller must scan the whole table.
+	Miss Outcome = iota
+	// Delta: the entry covers a prefix; the caller scans only the tail
+	// tuples[entry.Scanned:] and merges.
+	Delta
+	// Hit: the entry covers the whole table as it stands; the positions
+	// are exact.
+	Hit
+)
+
+// Entry is one cached scan result.
+type Entry struct {
+	// Positions are the matching tuple indices, ascending, within the
+	// scanned prefix.
+	Positions []int
+	// Scanned is the number of leading tuples the positions cover.
+	Scanned int
+	// Version is the table version at which the prefix was scanned.
+	Version uint64
+}
+
+// Stats are the cache's monotonic counters.
+type Stats struct {
+	// Hits counts lookups answered entirely from the cache.
+	Hits uint64
+	// Deltas counts lookups answered by a prefix entry plus a tail scan.
+	Deltas uint64
+	// Misses counts lookups that found no usable entry.
+	Misses uint64
+	// Evictions counts entries dropped to respect the size bound.
+	Evictions uint64
+	// Invalidations counts entries dropped by InvalidateTable.
+	Invalidations uint64
+}
+
+// key identifies one cached result.
+type key struct {
+	table  string
+	digest [sha256.Size]byte
+}
+
+// item is the LRU list payload.
+type item struct {
+	k     key
+	entry Entry
+}
+
+// Cache is a bounded, concurrency-safe LRU result cache.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	size     int64
+	ll       *list.List // front = most recently used
+	items    map[string]map[[sha256.Size]byte]*list.Element
+	stats    Stats
+}
+
+// New creates a cache bounded at maxBytes of cached positions;
+// maxBytes <= 0 selects DefaultMaxBytes.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]map[[sha256.Size]byte]*list.Element),
+	}
+}
+
+// digest derives the cache key digest from a query: the scheme ID (the
+// evaluator namespace) and the opaque token, length-separated.
+func digest(q *ph.EncryptedQuery) [sha256.Size]byte {
+	h := sha256.New()
+	var n [4]byte
+	n[0], n[1], n[2], n[3] = byte(len(q.SchemeID)>>24), byte(len(q.SchemeID)>>16), byte(len(q.SchemeID)>>8), byte(len(q.SchemeID))
+	h.Write(n[:])
+	h.Write([]byte(q.SchemeID))
+	h.Write(q.Token)
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// entryBytes approximates an entry's memory footprint for the size bound.
+func entryBytes(k key, e Entry) int64 {
+	return int64(len(e.Positions)*8 + len(k.table) + sha256.Size + 64)
+}
+
+// Lookup returns the cached entry for q against the named table, given
+// the table's current lineage base, version and tuple count. The returned
+// positions are a private copy the caller may append to. Outcome Hit
+// means the positions are exact for the whole table; Delta means they are
+// exact for the first entry.Scanned tuples and the caller must scan the
+// tail; Miss means no usable entry survived the lineage check.
+func (c *Cache) Lookup(table string, q *ph.EncryptedQuery, base uint64, tupleCount int) (Entry, Outcome) {
+	d := digest(q)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[table][d]
+	if !ok {
+		c.stats.Misses++
+		return Entry{}, Miss
+	}
+	e := el.Value.(*item).entry
+	// Lineage check: an entry stored against a replaced table object (or a
+	// snapshot that somehow claims more tuples than exist) is unusable.
+	if e.Version < base || e.Scanned > tupleCount {
+		c.stats.Misses++
+		return Entry{}, Miss
+	}
+	c.ll.MoveToFront(el)
+	out := Entry{
+		Positions: append(make([]int, 0, len(e.Positions)+8), e.Positions...),
+		Scanned:   e.Scanned,
+		Version:   e.Version,
+	}
+	if e.Scanned == tupleCount {
+		c.stats.Hits++
+		return out, Hit
+	}
+	c.stats.Deltas++
+	return out, Delta
+}
+
+// Store caches an entry for q against the named table, copying the
+// positions. If an entry with a newer version is already present (a
+// concurrent query got there first), the newer entry wins and Store is a
+// no-op. Entries larger than the whole cache are not stored.
+func (c *Cache) Store(table string, q *ph.EncryptedQuery, e Entry) {
+	k := key{table: table, digest: digest(q)}
+	e.Positions = append([]int(nil), e.Positions...)
+	sz := entryBytes(k, e)
+	if sz > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[table][k.digest]; ok {
+		old := el.Value.(*item)
+		if old.entry.Version > e.Version {
+			return // a fresher result is already cached
+		}
+		c.size += sz - entryBytes(old.k, old.entry)
+		old.entry = e
+		c.ll.MoveToFront(el)
+	} else {
+		byDigest := c.items[table]
+		if byDigest == nil {
+			byDigest = make(map[[sha256.Size]byte]*list.Element)
+			c.items[table] = byDigest
+		}
+		byDigest[k.digest] = c.ll.PushFront(&item{k: k, entry: e})
+		c.size += sz
+	}
+	for c.size > c.maxBytes {
+		c.evictOldest()
+	}
+}
+
+// evictOldest drops the least recently used entry. Callers hold c.mu.
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	c.removeLocked(el)
+	c.stats.Evictions++
+}
+
+// removeLocked unlinks one element from the list, the index and the size
+// accounting. Callers hold c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	it := el.Value.(*item)
+	c.ll.Remove(el)
+	byDigest := c.items[it.k.table]
+	delete(byDigest, it.k.digest)
+	if len(byDigest) == 0 {
+		delete(c.items, it.k.table)
+	}
+	c.size -= entryBytes(it.k, it.entry)
+}
+
+// InvalidateTable drops every entry cached for the named table. Called on
+// destructive mutations (replace, drop); compaction deliberately does
+// not invalidate — it rewrites the durable log, not the tuples, so
+// cached positions stay exact.
+func (c *Cache) InvalidateTable(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, el := range c.items[table] {
+		c.removeLocked(el)
+		c.stats.Invalidations++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// SizeBytes returns the approximate bytes held by cached entries.
+func (c *Cache) SizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,169 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ph"
+)
+
+func q(token string) *ph.EncryptedQuery {
+	return &ph.EncryptedQuery{SchemeID: "test", Token: []byte(token)}
+}
+
+func TestLookupOutcomes(t *testing.T) {
+	c := New(0)
+	if _, out := c.Lookup("t", q("a"), 1, 10); out != Miss {
+		t.Fatalf("empty cache lookup = %v, want Miss", out)
+	}
+	c.Store("t", q("a"), Entry{Positions: []int{1, 4}, Scanned: 10, Version: 3})
+
+	// Exact coverage: hit.
+	e, out := c.Lookup("t", q("a"), 1, 10)
+	if out != Hit || len(e.Positions) != 2 || e.Positions[0] != 1 || e.Positions[1] != 4 {
+		t.Fatalf("lookup = %v %v, want Hit [1 4]", out, e.Positions)
+	}
+	// Table grew (appends): delta.
+	if e, out = c.Lookup("t", q("a"), 1, 15); out != Delta || e.Scanned != 10 {
+		t.Fatalf("grown-table lookup = %v scanned %d, want Delta 10", out, e.Scanned)
+	}
+	// Lineage base beyond the entry's version (table was replaced): miss.
+	if _, out = c.Lookup("t", q("a"), 5, 10); out != Miss {
+		t.Fatalf("replaced-table lookup = %v, want Miss", out)
+	}
+	// Different token, different table: misses.
+	if _, out = c.Lookup("t", q("b"), 1, 10); out != Miss {
+		t.Fatalf("other-token lookup = %v, want Miss", out)
+	}
+	if _, out = c.Lookup("u", q("a"), 1, 10); out != Miss {
+		t.Fatalf("other-table lookup = %v, want Miss", out)
+	}
+
+	s := c.Stats()
+	if s.Hits != 1 || s.Deltas != 1 || s.Misses != 4 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 delta, 4 misses", s)
+	}
+}
+
+func TestLookupReturnsPrivateCopy(t *testing.T) {
+	c := New(0)
+	c.Store("t", q("a"), Entry{Positions: []int{7}, Scanned: 3, Version: 1})
+	e, _ := c.Lookup("t", q("a"), 1, 3)
+	e.Positions[0] = 99
+	e.Positions = append(e.Positions, 100)
+	if e2, _ := c.Lookup("t", q("a"), 1, 3); e2.Positions[0] != 7 || len(e2.Positions) != 1 {
+		t.Fatalf("cache entry mutated through a lookup result: %v", e2.Positions)
+	}
+}
+
+func TestStoreNewerVersionWins(t *testing.T) {
+	c := New(0)
+	c.Store("t", q("a"), Entry{Positions: []int{1, 2}, Scanned: 20, Version: 9})
+	// A straggler from an older snapshot must not clobber the newer entry.
+	c.Store("t", q("a"), Entry{Positions: []int{1}, Scanned: 10, Version: 4})
+	e, out := c.Lookup("t", q("a"), 1, 20)
+	if out != Hit || e.Version != 9 || len(e.Positions) != 2 {
+		t.Fatalf("lookup after stale store = %v %+v, want the version-9 entry", out, e)
+	}
+	// Same or newer version replaces.
+	c.Store("t", q("a"), Entry{Positions: []int{1, 2, 3}, Scanned: 30, Version: 12})
+	if e, _ := c.Lookup("t", q("a"), 1, 30); e.Version != 12 || len(e.Positions) != 3 {
+		t.Fatalf("newer store did not replace: %+v", e)
+	}
+}
+
+func TestInvalidateTable(t *testing.T) {
+	c := New(0)
+	c.Store("t", q("a"), Entry{Positions: []int{1}, Scanned: 5, Version: 1})
+	c.Store("t", q("b"), Entry{Positions: []int{2}, Scanned: 5, Version: 1})
+	c.Store("u", q("a"), Entry{Positions: []int{3}, Scanned: 5, Version: 1})
+	c.InvalidateTable("t")
+	if _, out := c.Lookup("t", q("a"), 1, 5); out != Miss {
+		t.Fatal("invalidated entry still served")
+	}
+	if _, out := c.Lookup("u", q("a"), 1, 5); out != Hit {
+		t.Fatal("unrelated table's entry was invalidated")
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	if s := c.Stats(); s.Invalidations != 2 {
+		t.Fatalf("Invalidations = %d, want 2", s.Invalidations)
+	}
+}
+
+func TestEvictionBound(t *testing.T) {
+	// Each entry: 100 positions ≈ 800 B + overhead. Bound at ~3 entries.
+	c := New(3 * 900)
+	for i := 0; i < 10; i++ {
+		positions := make([]int, 100)
+		c.Store("t", q(fmt.Sprintf("tok%d", i)), Entry{Positions: positions, Scanned: 100, Version: uint64(i)})
+	}
+	if sz := c.SizeBytes(); sz > 3*900 {
+		t.Fatalf("SizeBytes %d exceeds bound", sz)
+	}
+	if n := c.Len(); n == 0 || n > 3 {
+		t.Fatalf("Len = %d, want 1..3", n)
+	}
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Fatal("no evictions counted despite overflow")
+	}
+	// The most recently stored entry must have survived; the oldest gone.
+	if _, out := c.Lookup("t", q("tok9"), 1, 100); out != Hit {
+		t.Fatal("most recent entry was evicted")
+	}
+	if _, out := c.Lookup("t", q("tok0"), 1, 100); out != Miss {
+		t.Fatal("oldest entry survived past the bound")
+	}
+}
+
+func TestLRUOrderRespectsLookups(t *testing.T) {
+	c := New(3 * 900)
+	for i := 0; i < 3; i++ {
+		c.Store("t", q(fmt.Sprintf("tok%d", i)), Entry{Positions: make([]int, 100), Scanned: 100, Version: 1})
+	}
+	// Touch tok0 so tok1 becomes the LRU victim.
+	if _, out := c.Lookup("t", q("tok0"), 1, 100); out != Hit {
+		t.Fatal("warm entry missing")
+	}
+	c.Store("t", q("tok3"), Entry{Positions: make([]int, 100), Scanned: 100, Version: 1})
+	if _, out := c.Lookup("t", q("tok0"), 1, 100); out != Hit {
+		t.Fatal("recently used entry evicted before the LRU one")
+	}
+	if _, out := c.Lookup("t", q("tok1"), 1, 100); out != Miss {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestOversizedEntryNotStored(t *testing.T) {
+	c := New(100)
+	c.Store("t", q("big"), Entry{Positions: make([]int, 1000), Scanned: 1000, Version: 1})
+	if n := c.Len(); n != 0 {
+		t.Fatalf("oversized entry stored, Len = %d", n)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tok := q(fmt.Sprintf("tok%d", i%16))
+				table := fmt.Sprintf("t%d", g%4)
+				switch i % 4 {
+				case 0:
+					c.Store(table, tok, Entry{Positions: []int{i}, Scanned: i + 1, Version: uint64(i)})
+				case 3:
+					c.InvalidateTable(table)
+				default:
+					c.Lookup(table, tok, 0, i+1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/ph"
 	"repro/internal/relation"
+	"repro/internal/sched"
 	"repro/internal/swp"
 )
 
@@ -278,27 +279,38 @@ const parallelThreshold = 1024
 // use and also registered as the package's ph.Evaluator. A tuple matches if
 // any of its cipherwords of the trapdoor's length matches the trapdoor.
 //
-// Large tables are sharded into contiguous chunks across a
-// runtime.GOMAXPROCS-sized worker pool, one allocation-free swp.Matcher
-// clone per worker; chunk results merge in table order, so the output is
-// byte-identical to the serial scan.
+// Large tables are sharded into contiguous chunks across a worker pool
+// drawn from the process-wide scheduler budget (internal/sched), one
+// allocation-free swp.Matcher clone per worker. The calling goroutine is
+// always the first worker — so a query on a saturated server degrades to a
+// single-threaded scan instead of blocking — and extra workers, up to
+// GOMAXPROCS per query, come from the budget's spare capacity, which
+// bounds total scan parallelism across all concurrent queries. Chunk
+// results merge in table order, so the output is byte-identical to the
+// serial scan.
 func Evaluate(et *ph.EncryptedTable, q *ph.EncryptedQuery) (*ph.Result, error) {
 	td, params, err := decodeQueryToken(et.Meta, q.Token)
 	if err != nil {
 		return nil, err
 	}
 	n := len(et.Tuples)
-	workers := runtime.GOMAXPROCS(0)
-	if n < parallelThreshold || workers < 2 {
+	if n < parallelThreshold || runtime.GOMAXPROCS(0) < 2 {
 		m := swp.NewMatcher(params, td)
 		positions := scanTuples(et.Tuples, 0, m, make([]int, 0, positionsCap(n)))
 		return ph.SelectPositions(et, positions), nil
 	}
+	budget := sched.Process()
+	workers := budget.Acquire(runtime.GOMAXPROCS(0))
+	defer budget.Release(workers)
+	base := swp.NewMatcher(params, td)
+	if workers < 2 {
+		positions := scanTuples(et.Tuples, 0, base, make([]int, 0, positionsCap(n)))
+		return ph.SelectPositions(et, positions), nil
+	}
 	chunk := (n + workers - 1) / workers
 	results := make([][]int, workers)
-	base := swp.NewMatcher(params, td)
 	var wg sync.WaitGroup
-	for w := 0; w < workers && w*chunk < n; w++ {
+	for w := 1; w < workers && w*chunk < n; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > n {
 			hi = n
@@ -310,6 +322,9 @@ func Evaluate(et *ph.EncryptedTable, q *ph.EncryptedQuery) (*ph.Result, error) {
 				make([]int, 0, positionsCap(hi-lo)))
 		}(w, lo, hi)
 	}
+	// The caller scans the first chunk itself: it is the budget's
+	// guaranteed worker and needs no extra goroutine or Matcher clone.
+	results[0] = scanTuples(et.Tuples[:chunk], 0, base, make([]int, 0, positionsCap(chunk)))
 	wg.Wait()
 	total := 0
 	for _, r := range results {

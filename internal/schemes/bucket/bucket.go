@@ -145,13 +145,6 @@ func u64bytes(x uint64) []byte {
 	return b
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func init() {
 	ph.RegisterEvaluator(SchemeID, indexed.Evaluate)
 }

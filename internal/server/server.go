@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/authindex"
 	"repro/internal/ph"
+	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/wire"
 )
@@ -115,18 +116,36 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	// Steady-state request handling reuses two pooled buffers per
+	// connection — one for the inbound frame payload, one for encoding the
+	// response — so the per-frame hot path stops allocating. Decoded
+	// objects copy what they keep (wire.Buffer.Bytes copies), so recycling
+	// the payload after the response is written is safe.
+	readBuf := wire.GetBuf()
+	encBuf := wire.GetBuf()
+	defer func() {
+		wire.PutBuf(readBuf)
+		wire.PutBuf(encBuf)
+	}()
 	for {
-		f, err := wire.ReadFrame(r)
+		f, buf, err := wire.ReadFrameReuse(r, readBuf)
+		readBuf = buf
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logger.Printf("server: connection %s: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		resp := s.dispatch(f)
+		resp := s.dispatch(f, encBuf[:0])
 		if err := wire.WriteFrame(w, resp); err != nil {
 			s.logger.Printf("server: connection %s: %v", conn.RemoteAddr(), err)
 			return
+		}
+		// Keep a grown encode buffer for the next response, but never one
+		// past the pool threshold: a single huge CmdFetchAll must not pin
+		// tens of megabytes for the rest of the connection's life.
+		if cap(resp.Payload) > cap(encBuf) && cap(resp.Payload) <= wire.MaxPooledBuf {
+			encBuf = resp.Payload
 		}
 		if err := w.Flush(); err != nil {
 			s.logger.Printf("server: connection %s: flush: %v", conn.RemoteAddr(), err)
@@ -135,22 +154,20 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 }
 
-// batchFanout caps how many of a batched-query frame's queries are in
-// flight at once. Each in-flight query may itself fan out across the
-// evaluator's GOMAXPROCS worker pool, so this bounds goroutine count per
-// frame at batchFanout×GOMAXPROCS, not CPU share — CPU stays mediated by
-// the runtime's GOMAXPROCS threads across all clients. A per-server
-// evaluation budget shared with core.Evaluate would bound it tighter; see
-// ROADMAP.
-const batchFanout = 4
-
-// queryBatch evaluates a batch of queries against one table, fanning the
-// evaluations out across up to batchFanout goroutines. Since the storage
-// layer only takes the table's read lock per query, batched queries now
-// run concurrently with each other and with other clients' traffic —
-// nothing serialises on unrelated tables. Results keep the request order;
-// on failure the lowest-index error wins and the batch fails as a unit,
-// exactly as the serial loop behaved.
+// queryBatch evaluates a batch of queries against one table. The fanout is
+// no longer a hard-coded constant: it is sized from the process-wide
+// scheduler budget (internal/sched), the same budget core.Evaluate draws
+// its scan workers from, so batched queries cannot oversubscribe the
+// machine — extra intra-query parallelism and inter-query parallelism are
+// paid from one GOMAXPROCS-sized pool. The workers pull query indices
+// from a channel, so one stalled evaluation occupies only its own worker
+// and never wedges dispatch of later queries behind it (the old loop
+// acquired a semaphore while spawning and could stall the whole frame);
+// pulling also bounds live goroutines per frame at the fanout, so a
+// hostile frame declaring millions of queries cannot spawn millions of
+// goroutines. Results keep the request order; on failure the lowest-index
+// error wins and the batch fails as a unit, exactly as the serial loop
+// behaved.
 func (s *Server) queryBatch(name string, queries []*ph.EncryptedQuery) ([]*ph.Result, error) {
 	results := make([]*ph.Result, len(queries))
 	if len(queries) <= 1 {
@@ -164,17 +181,22 @@ func (s *Server) queryBatch(name string, queries []*ph.EncryptedQuery) ([]*ph.Re
 		return results, nil
 	}
 	errs := make([]error, len(queries))
+	workers := min(len(queries), sched.Process().Capacity())
+	work := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, batchFanout)
-	for i, q := range queries {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, q *ph.EncryptedQuery) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = s.store.Query(name, q)
-		}(i, q)
+			for i := range work {
+				results[i], errs[i] = s.store.Query(name, queries[i])
+			}
+		}()
 	}
+	for i := range queries {
+		work <- i
+	}
+	close(work)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -201,16 +223,18 @@ func clampCount(declared uint32, possible int) int {
 }
 
 // dispatch executes one command frame and builds the response frame.
-func (s *Server) dispatch(f wire.Frame) wire.Frame {
-	resp, err := s.handle(f)
+// scratch is a zero-length reusable buffer response payloads are appended
+// onto; the returned frame's payload may alias it (or a grown successor).
+func (s *Server) dispatch(f wire.Frame, scratch []byte) wire.Frame {
+	resp, err := s.handle(f, scratch)
 	if err != nil {
-		return wire.Frame{Type: wire.RespError, Payload: wire.AppendString(nil, err.Error())}
+		return wire.Frame{Type: wire.RespError, Payload: wire.AppendString(scratch[:0], err.Error())}
 	}
 	return resp
 }
 
-// handle implements the command set.
-func (s *Server) handle(f wire.Frame) (wire.Frame, error) {
+// handle implements the command set. Response payloads build on scratch.
+func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 	r := wire.NewBuffer(f.Payload)
 	switch f.Type {
 	case wire.CmdStore:
@@ -262,7 +286,7 @@ func (s *Server) handle(f wire.Frame) (wire.Frame, error) {
 		if err != nil {
 			return wire.Frame{}, err
 		}
-		return wire.Frame{Type: wire.RespResult, Payload: wire.EncodeResult(nil, res)}, nil
+		return wire.Frame{Type: wire.RespResult, Payload: wire.EncodeResult(scratch, res)}, nil
 
 	case wire.CmdQueryBatch:
 		name, err := r.String()
@@ -288,7 +312,7 @@ func (s *Server) handle(f wire.Frame) (wire.Frame, error) {
 		if err != nil {
 			return wire.Frame{}, err
 		}
-		payload := wire.AppendU32(nil, n)
+		payload := wire.AppendU32(scratch, n)
 		for _, res := range results {
 			payload = wire.EncodeResult(payload, res)
 		}
@@ -303,7 +327,7 @@ func (s *Server) handle(f wire.Frame) (wire.Frame, error) {
 		if err != nil {
 			return wire.Frame{}, err
 		}
-		return wire.Frame{Type: wire.RespTable, Payload: wire.EncodeTable(nil, t)}, nil
+		return wire.Frame{Type: wire.RespTable, Payload: wire.EncodeTable(scratch, t)}, nil
 
 	case wire.CmdDrop:
 		name, err := r.String()
@@ -316,7 +340,7 @@ func (s *Server) handle(f wire.Frame) (wire.Frame, error) {
 		return wire.Frame{Type: wire.RespOK}, nil
 
 	case wire.CmdList:
-		return wire.Frame{Type: wire.RespList, Payload: wire.EncodeList(nil, s.store.List())}, nil
+		return wire.Frame{Type: wire.RespList, Payload: wire.EncodeList(scratch, s.store.List())}, nil
 
 	case wire.CmdRoot:
 		name, err := r.String()
@@ -328,7 +352,7 @@ func (s *Server) handle(f wire.Frame) (wire.Frame, error) {
 			return wire.Frame{}, err
 		}
 		tree := authindex.Build(t)
-		payload := wire.AppendBytes(nil, tree.Root())
+		payload := wire.AppendBytes(scratch, tree.Root())
 		payload = wire.AppendU32(payload, uint32(len(t.Tuples)))
 		return wire.Frame{Type: wire.RespRoot, Payload: payload}, nil
 
@@ -358,7 +382,7 @@ func (s *Server) handle(f wire.Frame) (wire.Frame, error) {
 		if err != nil {
 			return wire.Frame{}, err
 		}
-		return wire.Frame{Type: wire.RespProofs, Payload: authindex.EncodeProofs(nil, proofs)}, nil
+		return wire.Frame{Type: wire.RespProofs, Payload: authindex.EncodeProofs(scratch, proofs)}, nil
 
 	default:
 		return wire.Frame{}, fmt.Errorf("server: unknown command %#x", f.Type)

@@ -44,11 +44,11 @@ func storeFrame(name string, et *ph.EncryptedTable) wire.Frame {
 
 func TestDispatchStoreAndFetch(t *testing.T) {
 	s := New(testStore(t), nil)
-	resp := s.dispatch(storeFrame("emp", encTable(3)))
+	resp := s.dispatch(storeFrame("emp", encTable(3)), nil)
 	if resp.Type != wire.RespOK {
 		t.Fatalf("store response %#x: %s", resp.Type, resp.Payload)
 	}
-	resp = s.dispatch(wire.Frame{Type: wire.CmdFetchAll, Payload: wire.AppendString(nil, "emp")})
+	resp = s.dispatch(wire.Frame{Type: wire.CmdFetchAll, Payload: wire.AppendString(nil, "emp")}, nil)
 	if resp.Type != wire.RespTable {
 		t.Fatalf("fetch response %#x", resp.Type)
 	}
@@ -63,12 +63,12 @@ func TestDispatchStoreAndFetch(t *testing.T) {
 
 func TestDispatchQuery(t *testing.T) {
 	s := New(testStore(t), nil)
-	if resp := s.dispatch(storeFrame("emp", encTable(2))); resp.Type != wire.RespOK {
+	if resp := s.dispatch(storeFrame("emp", encTable(2)), nil); resp.Type != wire.RespOK {
 		t.Fatal("store failed")
 	}
 	payload := wire.AppendString(nil, "emp")
 	payload = wire.EncodeQuery(payload, &ph.EncryptedQuery{SchemeID: "server-test", Token: []byte{1}})
-	resp := s.dispatch(wire.Frame{Type: wire.CmdQuery, Payload: payload})
+	resp := s.dispatch(wire.Frame{Type: wire.CmdQuery, Payload: payload}, nil)
 	if resp.Type != wire.RespResult {
 		t.Fatalf("query response %#x: %s", resp.Type, resp.Payload)
 	}
@@ -83,7 +83,7 @@ func TestDispatchQuery(t *testing.T) {
 
 func TestDispatchUnknownCommand(t *testing.T) {
 	s := New(testStore(t), nil)
-	resp := s.dispatch(wire.Frame{Type: 0x7F})
+	resp := s.dispatch(wire.Frame{Type: 0x7F}, nil)
 	if resp.Type != wire.RespError {
 		t.Fatalf("unknown command response %#x", resp.Type)
 	}
@@ -93,7 +93,7 @@ func TestDispatchMalformedPayload(t *testing.T) {
 	s := New(testStore(t), nil)
 	for _, cmd := range []byte{wire.CmdStore, wire.CmdInsert, wire.CmdQuery, wire.CmdFetchAll,
 		wire.CmdDrop, wire.CmdRoot, wire.CmdProve} {
-		resp := s.dispatch(wire.Frame{Type: cmd, Payload: []byte{0xFF}})
+		resp := s.dispatch(wire.Frame{Type: cmd, Payload: []byte{0xFF}}, nil)
 		if resp.Type != wire.RespError {
 			t.Errorf("command %#x with garbage payload returned %#x, want error", cmd, resp.Type)
 		}
@@ -103,10 +103,10 @@ func TestDispatchMalformedPayload(t *testing.T) {
 func TestDispatchRootAndProve(t *testing.T) {
 	s := New(testStore(t), nil)
 	et := encTable(5)
-	if resp := s.dispatch(storeFrame("emp", et)); resp.Type != wire.RespOK {
+	if resp := s.dispatch(storeFrame("emp", et), nil); resp.Type != wire.RespOK {
 		t.Fatal("store failed")
 	}
-	resp := s.dispatch(wire.Frame{Type: wire.CmdRoot, Payload: wire.AppendString(nil, "emp")})
+	resp := s.dispatch(wire.Frame{Type: wire.CmdRoot, Payload: wire.AppendString(nil, "emp")}, nil)
 	if resp.Type != wire.RespRoot {
 		t.Fatalf("root response %#x", resp.Type)
 	}
@@ -126,7 +126,7 @@ func TestDispatchRootAndProve(t *testing.T) {
 	payload := wire.AppendString(nil, "emp")
 	payload = wire.AppendU32(payload, 1)
 	payload = wire.AppendU32(payload, 2)
-	resp = s.dispatch(wire.Frame{Type: wire.CmdProve, Payload: payload})
+	resp = s.dispatch(wire.Frame{Type: wire.CmdProve, Payload: payload}, nil)
 	if resp.Type != wire.RespProofs {
 		t.Fatalf("prove response %#x: %s", resp.Type, resp.Payload)
 	}
@@ -250,15 +250,16 @@ func batchFrame(name string, qs []*ph.EncryptedQuery) wire.Frame {
 func TestQueryBatchParallelKeepsOrder(t *testing.T) {
 	store := testStore(t)
 	s := New(store, nil)
-	if resp := s.dispatch(storeFrame("emp", encTable(3))); resp.Type != wire.RespOK {
+	if resp := s.dispatch(storeFrame("emp", encTable(3)), nil); resp.Type != wire.RespOK {
 		t.Fatalf("store: %#x %s", resp.Type, resp.Payload)
 	}
-	// More queries than batchFanout so the semaphore path is exercised.
+	// More queries than the scheduler budget's capacity so the dispatch
+	// semaphore path is exercised.
 	qs := make([]*ph.EncryptedQuery, 9)
 	for i := range qs {
 		qs[i] = &ph.EncryptedQuery{SchemeID: "server-test", Token: []byte{byte(i)}}
 	}
-	resp := s.dispatch(batchFrame("emp", qs))
+	resp := s.dispatch(batchFrame("emp", qs), nil)
 	if resp.Type != wire.RespResults {
 		t.Fatalf("batch response %#x: %s", resp.Type, resp.Payload)
 	}
@@ -287,7 +288,7 @@ func TestQueryBatchUnknownTableFailsAsUnit(t *testing.T) {
 		{SchemeID: "server-test", Token: []byte{1}},
 		{SchemeID: "server-test", Token: []byte{2}},
 	}
-	resp := s.dispatch(batchFrame("nope", qs))
+	resp := s.dispatch(batchFrame("nope", qs), nil)
 	if resp.Type != wire.RespError {
 		t.Fatalf("batch on unknown table: response %#x, want error", resp.Type)
 	}
@@ -298,13 +299,13 @@ func TestHostileCountsDoNotAllocate(t *testing.T) {
 	// decode loop must fail on the short buffer instead of preallocating
 	// count-proportional memory (a remote OOM otherwise).
 	s := New(testStore(t), nil)
-	if resp := s.dispatch(storeFrame("emp", encTable(1))); resp.Type != wire.RespOK {
+	if resp := s.dispatch(storeFrame("emp", encTable(1)), nil); resp.Type != wire.RespOK {
 		t.Fatalf("store: %#x", resp.Type)
 	}
 	for _, cmd := range []byte{wire.CmdQueryBatch, wire.CmdInsert} {
 		payload := wire.AppendString(nil, "emp")
 		payload = wire.AppendU32(payload, 0xFFFFFFFF) // declared count
-		resp := s.dispatch(wire.Frame{Type: cmd, Payload: payload})
+		resp := s.dispatch(wire.Frame{Type: cmd, Payload: payload}, nil)
 		if resp.Type != wire.RespError {
 			t.Fatalf("cmd %#x with hostile count: response %#x, want error", cmd, resp.Type)
 		}

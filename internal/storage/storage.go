@@ -15,8 +15,22 @@
 // parallel, and queries against one table never serialise behind
 // mutations of an unrelated one. Lock order is strictly store before
 // table for writers and readers alike (List and Compact nest a table
-// read lock inside the store lock); nothing may take the store lock
-// while holding a table lock.
+// lock inside the store lock); nothing may take the store lock while
+// holding a table lock.
+//
+// Versioning and the result cache: every table carries a monotonic
+// version drawn from a store-wide clock, bumped on Put, Append, Drop and
+// Compact, plus the lineage base — the version at which the current table
+// object was installed. Query consults a bounded LRU result cache
+// (internal/cache) keyed by (table, trapdoor digest) under the table's
+// read lock: a current entry answers without scanning; an entry that
+// covers a prefix (the table has only been appended to since) triggers a
+// delta scan of just the appended tail; anything else is a miss and a
+// full scan. Destructive mutations invalidate the table's entries, and
+// the lineage base rejects entries a racing in-flight query stored
+// against a replaced snapshot. Caching leaks nothing: positions returned
+// per trapdoor are exactly the access pattern every query already reveals
+// to the server by construction.
 package storage
 
 import (
@@ -25,7 +39,9 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/cache"
 	"repro/internal/ph"
 	"repro/internal/wire"
 )
@@ -41,25 +57,38 @@ const (
 type tableEntry struct {
 	mu sync.RWMutex
 	t  *ph.EncryptedTable
+	// base is the store-clock version at which this table object was
+	// installed (Put or replayed store record). Cache entries from before
+	// base belong to a replaced snapshot and are unusable.
+	base uint64
+	// version is bumped from the store clock on every mutation touching
+	// this table. Between base and version the only mutations are appends
+	// (destructive ones install a fresh entry), which is what makes cached
+	// prefixes delta-scannable.
+	version uint64
 }
 
 // Store is the server-side catalogue of encrypted tables.
 type Store struct {
-	mu     sync.RWMutex // guards tables (the map itself) and log
+	mu     sync.RWMutex // guards tables (the map itself), log and cache ptr
 	tables map[string]*tableEntry
 	log    *os.File // nil for pure in-memory stores
 	path   string
+	clock  atomic.Uint64 // monotonic version source for all tables
+	cache  *cache.Cache  // nil disables result caching
 }
 
-// NewMemory creates a volatile in-memory store.
+// NewMemory creates a volatile in-memory store with result caching
+// enabled at the default size.
 func NewMemory() *Store {
-	return &Store{tables: make(map[string]*tableEntry)}
+	return &Store{tables: make(map[string]*tableEntry), cache: cache.New(0)}
 }
 
 // Open creates a durable store backed by the append-only log at path,
-// replaying any existing log.
+// replaying any existing log. Result caching is enabled at the default
+// size.
 func Open(path string) (*Store, error) {
-	s := &Store{tables: make(map[string]*tableEntry), path: path}
+	s := &Store{tables: make(map[string]*tableEntry), path: path, cache: cache.New(0)}
 	if err := s.replay(path); err != nil {
 		return nil, err
 	}
@@ -86,15 +115,38 @@ func (s *Store) Close() error {
 // entry looks up a table's entry under the store read lock. The returned
 // entry stays valid after the store lock is released: a concurrent Drop or
 // Put only unlinks it from the map, and readers still holding it finish
-// against the snapshot they found.
-func (s *Store) entry(name string) (*tableEntry, error) {
+// against the snapshot they found. The result cache pointer is read under
+// the same lock so Query sees a consistent pair.
+func (s *Store) entry(name string) (*tableEntry, *cache.Cache, error) {
 	s.mu.RLock()
 	e, ok := s.tables[name]
+	c := s.cache
 	s.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("storage: unknown table %q", name)
+		return nil, nil, fmt.Errorf("storage: unknown table %q", name)
 	}
-	return e, nil
+	return e, c, nil
+}
+
+// SetResultCache installs (or, with nil, disables) the query result
+// cache. Intended for tests and benchmarks that need the uncached path;
+// stores come with a default-sized cache out of the box.
+func (s *Store) SetResultCache(c *cache.Cache) {
+	s.mu.Lock()
+	s.cache = c
+	s.mu.Unlock()
+}
+
+// CacheStats returns the result cache's counters (zero if caching is
+// disabled).
+func (s *Store) CacheStats() cache.Stats {
+	s.mu.RLock()
+	c := s.cache
+	s.mu.RUnlock()
+	if c == nil {
+		return cache.Stats{}
+	}
+	return c.Stats()
 }
 
 // replay loads the log at path into memory, truncating a torn trailing
@@ -159,7 +211,8 @@ func (s *Store) applyRecord(op byte, payload []byte) error {
 		if err != nil {
 			return err
 		}
-		s.tables[name] = &tableEntry{t: t}
+		v := s.clock.Add(1)
+		s.tables[name] = &tableEntry{t: t, base: v, version: v}
 	case opInsert:
 		name, err := r.String()
 		if err != nil {
@@ -180,6 +233,7 @@ func (s *Store) applyRecord(op byte, payload []byte) error {
 			}
 			e.t.Tuples = append(e.t.Tuples, tp)
 		}
+		e.version = s.clock.Add(1)
 	case opDrop:
 		name, err := r.String()
 		if err != nil {
@@ -208,8 +262,10 @@ func (s *Store) appendRecord(op byte, payload []byte) error {
 }
 
 // Put stores (or replaces) the encrypted table under name. Replacement
-// installs a fresh entry; queries still running against a replaced table
-// finish on the snapshot they started with.
+// installs a fresh entry at a fresh lineage base and invalidates the
+// table's cached results; queries still running against a replaced table
+// finish on the snapshot they started with, and any result they cache
+// afterwards carries a pre-replacement version the lineage check rejects.
 func (s *Store) Put(name string, t *ph.EncryptedTable) error {
 	if name == "" {
 		return fmt.Errorf("storage: empty table name")
@@ -221,7 +277,11 @@ func (s *Store) Put(name string, t *ph.EncryptedTable) error {
 	if err := s.appendRecord(opStore, payload); err != nil {
 		return err
 	}
-	s.tables[name] = &tableEntry{t: t.Clone()}
+	v := s.clock.Add(1)
+	s.tables[name] = &tableEntry{t: t.Clone(), base: v, version: v}
+	if s.cache != nil {
+		s.cache.InvalidateTable(name)
+	}
 	return nil
 }
 
@@ -247,19 +307,27 @@ func (s *Store) Append(name string, tuples []ph.EncryptedTuple) error {
 	}
 	e.mu.Lock()
 	e.t.Tuples = append(e.t.Tuples, tuples...)
+	e.version = s.clock.Add(1)
 	e.mu.Unlock()
 	return nil
 }
 
-// Get returns a deep copy of the named table.
+// Get returns a deep copy of the named table. Only the slice header (and
+// the immutable scheme/meta fields) are snapshotted under the table's
+// read lock; the deep copy runs outside it, so exporting a large table no
+// longer stalls writers for the whole copy. This is safe because stored
+// tuples are immutable once appended: Append only grows the slice beyond
+// the snapshotted length (or reallocates), Put installs a fresh entry,
+// and nothing ever mutates Tuples[0:len] in place.
 func (s *Store) Get(name string) (*ph.EncryptedTable, error) {
-	e, err := s.entry(name)
+	e, _, err := s.entry(name)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.t.Clone(), nil
+	snap := ph.EncryptedTable{SchemeID: e.t.SchemeID, Meta: e.t.Meta, Tuples: e.t.Tuples}
+	e.mu.RUnlock()
+	return snap.Clone(), nil
 }
 
 // Query evaluates the encrypted query against the named table via the
@@ -267,14 +335,49 @@ func (s *Store) Get(name string) (*ph.EncryptedTable, error) {
 // duration of the evaluation, so queries on distinct tables — and multiple
 // queries on the same table — run fully in parallel, and none of them
 // block the catalogue.
+//
+// With caching enabled, the cache is consulted under that same read lock.
+// A Hit answers from the cached positions without touching the tuples. A
+// Delta — the table has only been appended to since the entry was stored —
+// evaluates just the appended tail through the scheme's own evaluator
+// (every registered evaluator is a tuple-local scan, so evaluating
+// Tuples[scanned:] and offsetting the positions is exact) and merges. A
+// Miss runs the full scan. Hot and delta results are written back so the
+// next query starts warm.
 func (s *Store) Query(name string, q *ph.EncryptedQuery) (*ph.Result, error) {
-	e, err := s.entry(name)
+	e, c, err := s.entry(name)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return ph.Apply(e.t, q)
+	if c == nil {
+		return ph.Apply(e.t, q)
+	}
+	ent, outcome := c.Lookup(name, q, e.base, len(e.t.Tuples))
+	switch outcome {
+	case cache.Hit:
+		return ph.SelectPositions(e.t, ent.Positions), nil
+	case cache.Delta:
+		tail := &ph.EncryptedTable{SchemeID: e.t.SchemeID, Meta: e.t.Meta, Tuples: e.t.Tuples[ent.Scanned:]}
+		res, err := ph.Apply(tail, q)
+		if err != nil {
+			return nil, err
+		}
+		positions := ent.Positions // Lookup returned a private copy
+		for _, p := range res.Positions {
+			positions = append(positions, p+ent.Scanned)
+		}
+		c.Store(name, q, cache.Entry{Positions: positions, Scanned: len(e.t.Tuples), Version: e.version})
+		return ph.SelectPositions(e.t, positions), nil
+	default:
+		res, err := ph.Apply(e.t, q)
+		if err != nil {
+			return nil, err
+		}
+		c.Store(name, q, cache.Entry{Positions: res.Positions, Scanned: len(e.t.Tuples), Version: e.version})
+		return res, nil
+	}
 }
 
 // Drop removes the named table.
@@ -287,7 +390,11 @@ func (s *Store) Drop(name string) error {
 	if err := s.appendRecord(opDrop, wire.AppendString(nil, name)); err != nil {
 		return err
 	}
+	s.clock.Add(1)
 	delete(s.tables, name)
+	if s.cache != nil {
+		s.cache.InvalidateTable(name)
+	}
 	return nil
 }
 
@@ -314,10 +421,16 @@ func (s *Store) Compact() error {
 	sort.Strings(names)
 	for _, name := range names {
 		e := s.tables[name]
-		e.mu.RLock()
+		// Compaction counts as a mutation for versioning purposes (the
+		// durable representation changed), so bump under the write lock.
+		// Cached results stay valid and keep hitting: the tuples are
+		// untouched, and cache validity is keyed on lineage base and
+		// scanned prefix, not on version equality.
+		e.mu.Lock()
+		e.version = s.clock.Add(1)
 		payload := wire.AppendString(nil, name)
 		payload = wire.EncodeTable(payload, e.t)
-		e.mu.RUnlock()
+		e.mu.Unlock()
 		hdr := []byte{
 			byte(len(payload) >> 24), byte(len(payload) >> 16),
 			byte(len(payload) >> 8), byte(len(payload)), opStore,

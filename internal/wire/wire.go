@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MaxFrameSize caps frame payloads (64 MiB) so a corrupt length prefix
@@ -102,30 +103,83 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return nil
 }
 
-// ReadFrame reads one frame from r.
+// ReadFrame reads one frame from r, allocating a fresh payload.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	f, _, err := ReadFrameReuse(r, nil)
+	return f, err
+}
+
+// ReadFrameReuse reads one frame from r, decoding the payload into buf
+// (grown as needed) instead of a fresh allocation. It returns the frame
+// and the possibly-grown buffer for the next call; the frame's payload
+// aliases that buffer, so the caller must be done with the frame — and
+// with anything that aliases its payload — before reusing the buffer.
+// Decoders defend this discipline by copying what they keep
+// (Buffer.Bytes copies out of the payload).
+func ReadFrameReuse(r io.Reader, buf []byte) (Frame, []byte, error) {
+	// The header is read through the reusable buffer too: a local array
+	// would escape through the io.Reader interface call and cost one heap
+	// allocation per frame.
+	if cap(buf) < 5 {
+		buf = make([]byte, 0, 512)
+	}
+	hdr := buf[:5]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		if err == io.EOF {
-			return Frame{}, io.EOF
+			return Frame{}, buf, io.EOF
 		}
-		return Frame{}, fmt.Errorf("wire: reading frame header: %w", err)
+		return Frame{}, buf, fmt.Errorf("wire: reading frame header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
+	f := Frame{Type: hdr[4]}
 	if n == 0 {
-		return Frame{}, fmt.Errorf("wire: zero-length frame")
+		return Frame{}, buf, fmt.Errorf("wire: zero-length frame")
 	}
 	if n > MaxFrameSize {
-		return Frame{}, fmt.Errorf("wire: frame of %d bytes exceeds maximum %d", n, MaxFrameSize)
+		return Frame{}, buf, fmt.Errorf("wire: frame of %d bytes exceeds maximum %d", n, MaxFrameSize)
 	}
-	f := Frame{Type: hdr[4]}
 	if n > 1 {
-		f.Payload = make([]byte, n-1)
-		if _, err := io.ReadFull(r, f.Payload); err != nil {
-			return Frame{}, fmt.Errorf("wire: reading frame payload: %w", err)
+		need := int(n - 1)
+		if cap(buf) < need {
+			buf = make([]byte, need)
 		}
+		buf = buf[:need]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Frame{}, buf, fmt.Errorf("wire: reading frame payload: %w", err)
+		}
+		f.Payload = buf
 	}
-	return f, nil
+	return f, buf, nil
+}
+
+// bufPool recycles payload and encode scratch buffers between frames so
+// steady-state request handling stops allocating per frame.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// MaxPooledBuf caps what PutBuf will retain: one request with a huge
+// frame must not pin tens of megabytes in the pool forever. Callers that
+// hold a reusable buffer across requests (server connections) use the
+// same threshold to decide whether a grown buffer is worth keeping.
+const MaxPooledBuf = 1 << 20
+
+// GetBuf returns a zero-length scratch buffer from the frame-buffer pool.
+// Grow it with append (or hand it to ReadFrameReuse) and return the grown
+// result via PutBuf when done.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf returns a scratch buffer to the pool. Oversized buffers are
+// dropped so the pool's footprint stays bounded.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > MaxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
 }
 
 // Buffer is a cursor over a payload for decoding.

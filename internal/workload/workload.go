@@ -197,10 +197,3 @@ func QueryMix(t *relation.Table, n int, seed int64) []relation.Eq {
 	}
 	return out
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
