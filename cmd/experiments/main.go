@@ -1,5 +1,5 @@
 // Command experiments regenerates every evaluation artifact of the
-// reproduction (experiments E1–E8 of DESIGN.md) and prints the result
+// reproduction (experiments E1–E15 of DESIGN.md) and prints the result
 // tables, optionally as markdown for EXPERIMENTS.md.
 //
 // Usage:
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e14); empty = all")
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e15); empty = all")
 		outPath  = flag.String("o", "", "also write the output to this file")
 		trials   = flag.Int("trials", 200, "game trials per cell (E1, E4)")
 		patients = flag.Int("patients", 400, "patients per hospital table (E2, E3)")
@@ -44,10 +44,12 @@ func main() {
 	e8sizes := []int{100, 1000, 10000, 100000}
 	e13Tuples := 10000
 	e14Clients := 8
+	e15Writers, e15Ops := 8, 60
 	if *quick {
 		sizes = []int{100, 1000}
 		e8sizes = []int{100, 1000}
 		e13Tuples = 2048
+		e15Ops = 15
 	}
 
 	want := map[string]bool{}
@@ -77,6 +79,7 @@ func main() {
 		{"e12", func() (*bench.Table, error) { return bench.RunE12(*patients, 20, *seed) }},
 		{"e13", func() (*bench.Table, error) { return bench.RunE13(e13Tuples, *seed) }},
 		{"e14", func() (*bench.Table, error) { return bench.RunE14(e13Tuples, e14Clients, *seed) }},
+		{"e15", func() (*bench.Table, error) { return bench.RunE15(e15Writers, e15Ops, *seed) }},
 	}
 	var out io.Writer = os.Stdout
 	if *outPath != "" {

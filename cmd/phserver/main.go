@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	phserver [-addr :7632] [-log /path/to/store.log]
+//	phserver [-addr :7632] [-log /path/to/store.log] [-sync always|interval|never] [-sync-interval 100ms]
 //
-// With -log the store is durable: mutations are appended to the log and
-// replayed on restart (torn tails from crashes are truncated). Without it
-// the store is in-memory.
+// With -log the store is durable: mutations are appended to a
+// checksummed write-ahead log and replayed on restart (torn or corrupt
+// tails from crashes are truncated). -sync selects when acknowledged
+// writes are fsynced: "always" (the default) fsyncs before every
+// acknowledgement, with concurrent writers sharing one fsync through
+// group commit; "interval" fsyncs in the background every
+// -sync-interval; "never" leaves flushing to the OS. Without -log the
+// store is in-memory and the sync flags are ignored.
 package main
 
 import (
@@ -34,21 +39,26 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7632", "listen address")
-		logPath = flag.String("log", "", "append-only persistence log (empty = in-memory)")
+		addr     = flag.String("addr", ":7632", "listen address")
+		logPath  = flag.String("log", "", "write-ahead persistence log (empty = in-memory)")
+		syncMode = flag.String("sync", "always", "log sync policy: always (group-commit fsync per ack), interval (background fsync), never")
+		syncIvl  = flag.Duration("sync-interval", storage.DefaultSyncInterval, "background fsync period under -sync interval")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "phserver: ", log.LstdFlags)
 
 	var store *storage.Store
-	var err error
 	if *logPath != "" {
-		store, err = storage.Open(*logPath)
+		policy, err := storage.ParseSyncPolicy(*syncMode)
+		if err != nil {
+			logger.Fatalf("bad -sync flag: %v", err)
+		}
+		store, err = storage.OpenOptions(*logPath, storage.Options{Sync: policy, SyncInterval: *syncIvl})
 		if err != nil {
 			logger.Fatalf("opening store: %v", err)
 		}
 		defer store.Close()
-		logger.Printf("durable store at %s", *logPath)
+		logger.Printf("durable store at %s (sync policy %s)", *logPath, policy)
 	} else {
 		store = storage.NewMemory()
 		logger.Print("in-memory store (no -log given)")

@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sync"
 
 	"repro/internal/authindex"
 	"repro/internal/ph"
@@ -274,33 +275,132 @@ func (db *DB) CreateTable(t *relation.Table) error {
 	return nil
 }
 
-// Insert encrypts and appends plaintext tuples. Appending changes the
-// table, so the pinned root is refreshed from a full fetch (an optimisation
-// would maintain the root incrementally; kept simple here).
-func (db *DB) Insert(tuples ...relation.Tuple) error {
+// encryptTuples builds a single-use table from the plaintext tuples and
+// encrypts it under the DB's scheme.
+func (db *DB) encryptTuples(tuples []relation.Tuple) (*ph.EncryptedTable, error) {
 	t := relation.NewTable(db.scheme.Schema())
 	for _, tp := range tuples {
 		if err := t.Insert(tp); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	ct, err := db.scheme.EncryptTable(t)
+	return db.scheme.EncryptTable(t)
+}
+
+// refreshRoot re-pins the authenticated-index root from a full fetch if
+// one is pinned; a no-op otherwise. (An optimisation would maintain the
+// root incrementally; kept simple here.)
+func (db *DB) refreshRoot() error {
+	if db.root == nil {
+		return nil
+	}
+	full, err := db.conn.FetchAll(db.table)
+	if err != nil {
+		return err
+	}
+	tree := authindex.Build(full)
+	db.root = tree.Root()
+	db.rootTuples = len(full.Tuples)
+	return nil
+}
+
+// Insert encrypts and appends plaintext tuples. Appending changes the
+// table, so the pinned root is refreshed from a full fetch.
+func (db *DB) Insert(tuples ...relation.Tuple) error {
+	ct, err := db.encryptTuples(tuples)
 	if err != nil {
 		return err
 	}
 	if err := db.conn.Insert(db.table, ct.Tuples); err != nil {
 		return err
 	}
-	if db.root != nil {
-		full, err := db.conn.FetchAll(db.table)
-		if err != nil {
-			return err
-		}
-		tree := authindex.Build(full)
-		db.root = tree.Root()
-		db.rootTuples = len(full.Tuples)
+	return db.refreshRoot()
+}
+
+// InsertBatch encrypts the tuples once and appends them to the remote
+// table in chunks of chunk tuples, fanned out over workers parallel
+// connections opened with dial. The concurrent CmdInsert frames land in
+// the server's group-commit write path, so the whole batch shares
+// fsyncs instead of paying one per chunk; every chunk is durably
+// acknowledged when InsertBatch returns (under the server's sync
+// policy). Chunks from different workers interleave, so the server-side
+// tuple order within the batch is unspecified — exact selects don't
+// care, and the pinned root (if any) is refreshed from a full fetch
+// afterwards, exactly like Insert.
+//
+// workers <= 0 defaults to 4; chunk <= 0 defaults to 256. A nil dial
+// falls back to a serial Insert over the DB's own connection.
+func (db *DB) InsertBatch(dial func() (*Conn, error), workers, chunk int, tuples ...relation.Tuple) error {
+	if dial == nil {
+		return db.Insert(tuples...)
 	}
-	return nil
+	if workers <= 0 {
+		workers = 4
+	}
+	if chunk <= 0 {
+		chunk = 256
+	}
+	ct, err := db.encryptTuples(tuples)
+	if err != nil {
+		return err
+	}
+	var chunks [][]ph.EncryptedTuple
+	for off := 0; off < len(ct.Tuples); off += chunk {
+		end := min(off+chunk, len(ct.Tuples))
+		chunks = append(chunks, ct.Tuples[off:end])
+	}
+	if len(chunks) == 0 {
+		return nil
+	}
+	if w := len(chunks); w < workers {
+		workers = w
+	}
+	work := make(chan []ph.EncryptedTuple)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := dial()
+			if err != nil {
+				errs[w] = fmt.Errorf("client: batch insert worker %d: %w", w, err)
+				// Keep draining so the feeder never blocks on a dead worker.
+				for range work {
+				}
+				return
+			}
+			defer conn.Close()
+			for batch := range work {
+				if err := conn.Insert(db.table, batch); err != nil {
+					errs[w] = fmt.Errorf("client: batch insert worker %d: %w", w, err)
+					for range work {
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	for _, c := range chunks {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	// Refresh the pinned root even on partial failure: chunks from the
+	// surviving workers have already landed, so leaving the old root
+	// pinned would make every later verified select fail as if the
+	// server had tampered.
+	if err := db.refreshRoot(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // Select runs one exact select end to end: encrypt the query, evaluate it

@@ -83,7 +83,10 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close stops accepting, closes all connections and waits for handlers.
+// Close stops accepting, closes all connections, waits for handlers and
+// syncs the store's log: a graceful server shutdown is durable even
+// under the interval/never sync policies and even if the owner never
+// calls Store.Close (which also syncs).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -101,6 +104,9 @@ func (s *Server) Close() error {
 		err = l.Close()
 	}
 	s.wg.Wait()
+	if serr := s.store.Sync(); serr != nil && err == nil {
+		err = serr
+	}
 	return err
 }
 

@@ -1,27 +1,41 @@
 // Package storage implements Eve's ciphertext store: a concurrency-safe
-// in-memory catalogue of encrypted tables with optional durability through
-// an append-only log. The server never sees plaintext; everything stored
+// in-memory catalogue of encrypted tables with durability through a
+// write-ahead log. The server never sees plaintext; everything stored
 // here is exactly what the wire protocol delivered.
 //
-// Durability model: each mutation (store, insert, drop) is appended to the
-// log as a length-prefixed record and the log is replayed on open. A
-// partially written trailing record (crash mid-append) is detected and
-// truncated away, mirroring the recovery discipline of write-ahead logs.
+// Durability model: each mutation (store, insert, drop) is framed as a
+// checksummed log record (format v1: magic, op, length, CRC32C; legacy
+// v0 records without a checksum replay too) and appended through a
+// dedicated log writer before it is applied in memory and acknowledged.
+// The sync policy decides what "acknowledged" promises: under SyncAlways
+// (the default) the record is fsynced first, with concurrent writers
+// sharing one fsync through group commit; SyncInterval fsyncs in the
+// background every interval; SyncNever leaves flushing to the OS. Close
+// always syncs, so a clean shutdown is durable under every policy. On
+// open the log is replayed: a torn trailing record (crash mid-append)
+// and anything after a corrupt record (CRC mismatch) is truncated away,
+// so replay never silently misapplies bytes the CRC disowns.
 //
-// Locking model: the store-level RWMutex guards only the catalogue map and
-// the log; each table carries its own RWMutex guarding its tuple data.
-// Query therefore holds no store-wide lock while evaluating — possibly a
-// long multi-core table scan — so concurrent clients' queries proceed in
-// parallel, and queries against one table never serialise behind
-// mutations of an unrelated one. Lock order is strictly store before
-// table for writers and readers alike (List and Compact nest a table
-// lock inside the store lock); nothing may take the store lock while
-// holding a table lock.
+// Locking model: the store-level RWMutex guards only the catalogue map
+// and the cache pointer; each table carries its own RWMutex guarding its
+// tuple data, and the log writer serialises record framing under its own
+// internal mutex. A mutation stages its log record while holding the
+// lock that orders it — the table lock for Append, the store lock (plus
+// the outgoing table's lock) for Put and Drop — and then waits for
+// durability with no locks held. Mutations of distinct tables therefore
+// proceed in parallel, paying only for the shared group commit, and a
+// query never waits behind another table's disk I/O. Because the record
+// for every mutation of a given table is framed under that table's
+// ordering lock, the log order of same-table records always matches the
+// in-memory application order, which is what makes replay reproduce the
+// in-memory state exactly (records of different tables commute). Lock
+// order is strictly store, then table, then log writer; nothing may
+// take an earlier lock while holding a later one.
 //
 // Versioning and the result cache: every table carries a monotonic
-// version drawn from a store-wide clock, bumped on Put, Append, Drop and
-// Compact, plus the lineage base — the version at which the current table
-// object was installed. Query consults a bounded LRU result cache
+// version drawn from a store-wide clock, bumped on Put, Append and Drop,
+// plus the lineage base — the version at which the current table object
+// was installed. Query consults a bounded LRU result cache
 // (internal/cache) keyed by (table, trapdoor digest) under the table's
 // read lock: a current entry answers without scanning; an entry that
 // covers a prefix (the table has only been appended to since) triggers a
@@ -34,7 +48,10 @@
 package storage
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sort"
@@ -66,13 +83,19 @@ type tableEntry struct {
 	// (destructive ones install a fresh entry), which is what makes cached
 	// prefixes delta-scannable.
 	version uint64
+	// stale marks an entry that has been replaced (Put) or removed
+	// (Drop) from the catalogue. An Append that looked the entry up
+	// before the replacement re-reads the catalogue instead of mutating
+	// — and logging against — a superseded object, which keeps the log
+	// order of same-table records identical to their in-memory order.
+	stale bool
 }
 
 // Store is the server-side catalogue of encrypted tables.
 type Store struct {
-	mu     sync.RWMutex // guards tables (the map itself), log and cache ptr
+	mu     sync.RWMutex // guards tables (the map itself) and cache ptr
 	tables map[string]*tableEntry
-	log    *os.File // nil for pure in-memory stores
+	wal    *walWriter // immutable after Open; nil for pure in-memory stores
 	path   string
 	clock  atomic.Uint64 // monotonic version source for all tables
 	cache  *cache.Cache  // nil disables result caching
@@ -84,10 +107,21 @@ func NewMemory() *Store {
 	return &Store{tables: make(map[string]*tableEntry), cache: cache.New(0)}
 }
 
-// Open creates a durable store backed by the append-only log at path,
-// replaying any existing log. Result caching is enabled at the default
-// size.
+// Open creates a durable store backed by the write-ahead log at path
+// with default options (SyncAlways), replaying any existing log. Result
+// caching is enabled at the default size.
 func Open(path string) (*Store, error) {
+	return OpenOptions(path, Options{})
+}
+
+// OpenOptions creates a durable store backed by the write-ahead log at
+// path, replaying any existing log, with the given durability options.
+func OpenOptions(path string, opts Options) (*Store, error) {
+	switch opts.Sync {
+	case SyncAlways, SyncInterval, SyncNever:
+	default:
+		return nil, fmt.Errorf("storage: invalid sync policy %v", opts.Sync)
+	}
 	s := &Store{tables: make(map[string]*tableEntry), path: path, cache: cache.New(0)}
 	if err := s.replay(path); err != nil {
 		return nil, err
@@ -96,20 +130,42 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: opening log %s: %w", path, err)
 	}
-	s.log = f
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat log %s: %w", path, err)
+	}
+	s.wal = newWALWriter(f, info.Size(), opts)
 	return s, nil
 }
 
-// Close releases the log file, if any.
+// Close syncs the log — a clean shutdown is durable even under the
+// SyncInterval and SyncNever policies — and closes it. Mutating a
+// closed durable store fails.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.log == nil {
+	if s.wal == nil {
 		return nil
 	}
-	err := s.log.Close()
-	s.log = nil
-	return err
+	return s.wal.Close()
+}
+
+// Sync forces everything acknowledged so far onto stable storage,
+// regardless of the sync policy. A no-op for in-memory stores.
+func (s *Store) Sync() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.syncNow()
+}
+
+// LogStats returns the log writer's activity counters (zero for
+// in-memory stores). Records counts accepted mutations; Syncs counts
+// fsyncs — under group commit the latter stays well below the former.
+func (s *Store) LogStats() LogStats {
+	if s.wal == nil {
+		return LogStats{}
+	}
+	return s.wal.stats()
 }
 
 // entry looks up a table's entry under the store read lock. The returned
@@ -149,8 +205,14 @@ func (s *Store) CacheStats() cache.Stats {
 	return c.Stats()
 }
 
-// replay loads the log at path into memory, truncating a torn trailing
-// record if one is found.
+// replay loads the log at path into memory. Replay stops at the first
+// record that fails integrity checks — a torn header or payload (crash
+// mid-append) or a v1 record whose CRC does not match its bytes — and
+// truncates the log there, so nothing after a corrupt length or flipped
+// byte is ever misapplied. v1 records that verify but fail to apply are
+// a hard error (they indicate a format from a newer version, not
+// corruption); unverifiable legacy v0 records that fail to apply are
+// treated as corruption and truncated.
 func (s *Store) replay(path string) error {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -160,31 +222,64 @@ func (s *Store) replay(path string) error {
 		return fmt.Errorf("storage: opening log %s for replay: %w", path, err)
 	}
 	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
 	var validOffset int64
+scan:
 	for {
-		var hdr [5]byte
-		_, err := io.ReadFull(f, hdr[:])
-		if err == io.EOF {
-			break
-		}
+		first, err := br.ReadByte()
 		if err != nil {
-			break // torn header: truncate from validOffset
+			break // io.EOF: clean end of log
 		}
-		n := uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3])
-		if n > wire.MaxFrameSize {
-			break
+		var op byte
+		var payload []byte
+		var recLen int64
+		if first == walMagic {
+			var hdr [walV1HdrLen - 1]byte // op, len, crc
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				break // torn v1 header
+			}
+			n := binary.BigEndian.Uint32(hdr[1:5])
+			if n > wire.MaxFrameSize {
+				break // corrupt length (CRC would fail anyway)
+			}
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				break // torn payload
+			}
+			crc := crc32.Update(0, castagnoli, hdr[:5])
+			crc = crc32.Update(crc, castagnoli, payload)
+			if crc != binary.BigEndian.Uint32(hdr[5:9]) {
+				break // corrupt record
+			}
+			op = hdr[0]
+			recLen = walV1HdrLen + int64(n)
+			if err := s.applyRecord(op, payload); err != nil {
+				return fmt.Errorf("storage: replaying log %s at offset %d: %w", path, validOffset, err)
+			}
+		} else {
+			// Legacy v0: first is the leading byte of the length.
+			var rest [walV0HdrLen - 1]byte // len[1:4], op
+			if _, err := io.ReadFull(br, rest[:]); err != nil {
+				break // torn v0 header
+			}
+			n := uint32(first)<<24 | uint32(rest[0])<<16 | uint32(rest[1])<<8 | uint32(rest[2])
+			if n > wire.MaxFrameSize {
+				break // corrupt length
+			}
+			op = rest[3]
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				break // torn payload
+			}
+			recLen = walV0HdrLen + int64(n)
+			if err := s.applyRecord(op, payload); err != nil {
+				break scan // unverifiable legacy record: treat as corruption
+			}
 		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			break // torn payload
-		}
-		if err := s.applyRecord(hdr[4], payload); err != nil {
-			return fmt.Errorf("storage: replaying log %s at offset %d: %w", path, validOffset, err)
-		}
-		validOffset += int64(5 + n)
+		validOffset += recLen
 	}
-	// Truncate any torn tail so the next append starts at a clean
-	// boundary.
+	// Truncate any torn or corrupt tail so the next append starts at a
+	// clean boundary.
 	info, err := os.Stat(path)
 	if err != nil {
 		return fmt.Errorf("storage: stat log %s: %w", path, err)
@@ -246,70 +341,105 @@ func (s *Store) applyRecord(op byte, payload []byte) error {
 	return nil
 }
 
-// appendRecord durably appends a mutation record. Callers hold s.mu.
-func (s *Store) appendRecord(op byte, payload []byte) error {
-	if s.log == nil {
-		return nil
-	}
-	hdr := []byte{
-		byte(len(payload) >> 24), byte(len(payload) >> 16),
-		byte(len(payload) >> 8), byte(len(payload)), op,
-	}
-	if _, err := s.log.Write(append(hdr, payload...)); err != nil {
-		return fmt.Errorf("storage: appending log record: %w", err)
-	}
-	return nil
-}
-
 // Put stores (or replaces) the encrypted table under name. Replacement
 // installs a fresh entry at a fresh lineage base and invalidates the
 // table's cached results; queries still running against a replaced table
 // finish on the snapshot they started with, and any result they cache
 // afterwards carries a pre-replacement version the lineage check rejects.
+//
+// The deep copy and the record encoding run before any lock is taken;
+// the store lock covers only the log staging and the catalogue install,
+// and the durability wait holds no locks at all.
 func (s *Store) Put(name string, t *ph.EncryptedTable) error {
 	if name == "" {
 		return fmt.Errorf("storage: empty table name")
 	}
+	clone := t.Clone()
+	var payload []byte
+	if s.wal != nil {
+		payload = wire.AppendString(nil, name)
+		payload = wire.EncodeTable(payload, t)
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	payload := wire.AppendString(nil, name)
-	payload = wire.EncodeTable(payload, t)
-	if err := s.appendRecord(opStore, payload); err != nil {
-		return err
+	old := s.tables[name]
+	if old != nil {
+		// Holding the outgoing entry's lock while staging orders this
+		// record after every append already logged against it, and
+		// marking it stale sends later appends to the new entry.
+		old.mu.Lock()
+	}
+	var seq uint64
+	if s.wal != nil {
+		var err error
+		if seq, err = s.wal.write(opStore, payload); err != nil {
+			if old != nil {
+				old.mu.Unlock()
+			}
+			s.mu.Unlock()
+			return err
+		}
+	}
+	if old != nil {
+		old.stale = true
+		old.mu.Unlock()
 	}
 	v := s.clock.Add(1)
-	s.tables[name] = &tableEntry{t: t.Clone(), base: v, version: v}
+	s.tables[name] = &tableEntry{t: clone, base: v, version: v}
 	if s.cache != nil {
 		s.cache.InvalidateTable(name)
+	}
+	s.mu.Unlock()
+	if s.wal != nil {
+		return s.wal.waitDurable(seq)
 	}
 	return nil
 }
 
-// Append adds encrypted tuples to an existing table. The tuples must carry
-// the same scheme as the stored table (enforced by the caller protocol:
-// they're opaque here). The store lock covers the log write; the table's
-// own write lock covers the tuple mutation, excluding only that table's
-// readers.
+// Append adds encrypted tuples to an existing table. The tuples must
+// carry the same scheme as the stored table (enforced by the caller
+// protocol: they're opaque here). Only the table's own write lock is
+// held across the log staging and the tuple mutation, so appends to
+// distinct tables proceed in parallel — under SyncAlways they share the
+// group-commit fsync, which no lock is held across.
 func (s *Store) Append(name string, tuples []ph.EncryptedTuple) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.tables[name]
-	if !ok {
-		return fmt.Errorf("storage: unknown table %q", name)
+	var payload []byte
+	if s.wal != nil {
+		payload = wire.AppendString(nil, name)
+		payload = wire.AppendU32(payload, uint32(len(tuples)))
+		for _, tp := range tuples {
+			payload = wire.EncodeTuple(payload, tp)
+		}
 	}
-	payload := wire.AppendString(nil, name)
-	payload = wire.AppendU32(payload, uint32(len(tuples)))
-	for _, tp := range tuples {
-		payload = wire.EncodeTuple(payload, tp)
+	for {
+		s.mu.RLock()
+		e, ok := s.tables[name]
+		s.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("storage: unknown table %q", name)
+		}
+		e.mu.Lock()
+		if e.stale {
+			// The entry was replaced or dropped between lookup and lock:
+			// retry against the current catalogue state.
+			e.mu.Unlock()
+			continue
+		}
+		var seq uint64
+		if s.wal != nil {
+			var err error
+			if seq, err = s.wal.write(opInsert, payload); err != nil {
+				e.mu.Unlock()
+				return err
+			}
+		}
+		e.t.Tuples = append(e.t.Tuples, tuples...)
+		e.version = s.clock.Add(1)
+		e.mu.Unlock()
+		if s.wal != nil {
+			return s.wal.waitDurable(seq)
+		}
+		return nil
 	}
-	if err := s.appendRecord(opInsert, payload); err != nil {
-		return err
-	}
-	e.mu.Lock()
-	e.t.Tuples = append(e.t.Tuples, tuples...)
-	e.version = s.clock.Add(1)
-	e.mu.Unlock()
-	return nil
 }
 
 // Get returns a deep copy of the named table. Only the slice header (and
@@ -380,20 +510,36 @@ func (s *Store) Query(name string, q *ph.EncryptedQuery) (*ph.Result, error) {
 	}
 }
 
-// Drop removes the named table.
+// Drop removes the named table. Like Put, the record is staged while
+// holding the store lock and the entry's lock (ordering it after every
+// logged append to the entry), and the durability wait is lock-free.
 func (s *Store) Drop(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tables[name]; !ok {
+	e, ok := s.tables[name]
+	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("storage: unknown table %q", name)
 	}
-	if err := s.appendRecord(opDrop, wire.AppendString(nil, name)); err != nil {
-		return err
+	e.mu.Lock()
+	var seq uint64
+	if s.wal != nil {
+		var err error
+		if seq, err = s.wal.write(opDrop, wire.AppendString(nil, name)); err != nil {
+			e.mu.Unlock()
+			s.mu.Unlock()
+			return err
+		}
 	}
+	e.stale = true
+	e.mu.Unlock()
 	s.clock.Add(1)
 	delete(s.tables, name)
 	if s.cache != nil {
 		s.cache.InvalidateTable(name)
+	}
+	s.mu.Unlock()
+	if s.wal != nil {
+		return s.wal.waitDurable(seq)
 	}
 	return nil
 }
@@ -401,19 +547,27 @@ func (s *Store) Drop(name string) error {
 // Compact rewrites the log so it holds exactly one store record per live
 // table, discarding superseded stores, appended-tuple records and dropped
 // tables. It is a no-op for in-memory stores. The rewrite goes through a
-// temporary file and an atomic rename, so a crash mid-compaction leaves
+// temporary file and an atomic rename; the store keeps a usable log on
+// EVERY failure path: the new file is opened for appending before the
+// rename, so the old log is replaced only once its successor is fully
+// written, fsynced and renamed into place. A crash mid-compaction leaves
 // either the old or the new log intact.
+//
+// Compact holds the store lock and every table's read lock for the
+// duration, so mutations pause but queries proceed. Quiescing writers
+// this way also guarantees the log writer has nothing in flight when the
+// file is swapped. Compaction does not bump table versions: the tuples
+// are untouched, and cache validity is keyed on lineage base and scanned
+// prefix, so cached results keep hitting.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.log == nil {
+	if s.wal == nil {
 		return nil
 	}
-	tmpPath := s.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
-	if err != nil {
-		return fmt.Errorf("storage: creating compaction file: %w", err)
-	}
+	// Take every table's read lock (sorted, for determinism): appenders
+	// past their catalogue lookup hold or await the table write lock, so
+	// once these are held no log write is in flight and none can start.
 	names := make([]string, 0, len(s.tables))
 	for name := range s.tables {
 		names = append(names, name)
@@ -421,55 +575,55 @@ func (s *Store) Compact() error {
 	sort.Strings(names)
 	for _, name := range names {
 		e := s.tables[name]
-		// Compaction counts as a mutation for versioning purposes (the
-		// durable representation changed), so bump under the write lock.
-		// Cached results stay valid and keep hitting: the tuples are
-		// untouched, and cache validity is keyed on lineage base and
-		// scanned prefix, not on version equality.
-		e.mu.Lock()
-		e.version = s.clock.Add(1)
-		payload := wire.AppendString(nil, name)
-		payload = wire.EncodeTable(payload, e.t)
-		e.mu.Unlock()
-		hdr := []byte{
-			byte(len(payload) >> 24), byte(len(payload) >> 16),
-			byte(len(payload) >> 8), byte(len(payload)), opStore,
-		}
-		if _, err := tmp.Write(append(hdr, payload...)); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
-			return fmt.Errorf("storage: writing compacted record: %w", err)
-		}
+		e.mu.RLock()
+		defer e.mu.RUnlock()
 	}
-	if err := tmp.Sync(); err != nil {
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("storage: creating compaction file: %w", err)
+	}
+	abort := func(e error) error {
 		tmp.Close()
 		os.Remove(tmpPath)
-		return fmt.Errorf("storage: syncing compacted log: %w", err)
+		return e
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpPath)
-		return fmt.Errorf("storage: closing compacted log: %w", err)
+	var buf []byte
+	var size int64
+	for _, name := range names {
+		e := s.tables[name]
+		payload := wire.AppendString(nil, name)
+		payload = wire.EncodeTable(payload, e.t)
+		// A table grown past the frame cap cannot be represented as one
+		// store record; writing it anyway would replay as corruption and
+		// silently drop the table. Keep the old (valid) log instead.
+		if len(payload) > wire.MaxFrameSize {
+			return abort(fmt.Errorf("storage: table %q compacts to %d bytes, above the %d-byte record cap", name, len(payload), wire.MaxFrameSize))
+		}
+		buf = appendWALRecord(buf[:0], opStore, payload)
+		if _, err := tmp.Write(buf); err != nil {
+			return abort(fmt.Errorf("storage: writing compacted record: %w", err))
+		}
+		size += int64(len(buf))
 	}
-	if err := s.log.Close(); err != nil {
-		return fmt.Errorf("storage: closing old log: %w", err)
+	if err := tmp.Sync(); err != nil {
+		return abort(fmt.Errorf("storage: syncing compacted log: %w", err))
 	}
 	if err := os.Rename(tmpPath, s.path); err != nil {
-		return fmt.Errorf("storage: swapping compacted log: %w", err)
+		return abort(fmt.Errorf("storage: swapping compacted log: %w", err))
 	}
-	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o600)
-	if err != nil {
-		return fmt.Errorf("storage: reopening compacted log: %w", err)
-	}
-	s.log = f
-	return nil
+	// The already-open handle follows the inode across the rename, so
+	// the store never holds a closed or dangling log, whatever failed
+	// above. installFile releases any group-commit waiters (their
+	// records are superseded by the compacted, fsynced file).
+	return s.wal.installFile(tmp, size)
 }
 
 // LogSize returns the byte size of the persistence log, or 0 for in-memory
-// stores.
+// stores. No lock is needed: the path is immutable and the size is a
+// point-in-time observation either way.
 func (s *Store) LogSize() (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.log == nil {
+	if s.wal == nil {
 		return 0, nil
 	}
 	info, err := os.Stat(s.path)
