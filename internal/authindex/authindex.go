@@ -10,6 +10,21 @@
 // uploaded; every returned tuple comes with an inclusion proof of
 // O(log n) hashes that he checks against the root.
 //
+// The tree shape is RFC-6962-compatible: leaves in table order, each
+// level pairing left-to-right with an odd trailing node promoted
+// unchanged, which is exactly the recursive largest-power-of-two split of
+// RFC 6962 §2.1. That equivalence is what makes the tree *incrementally
+// maintainable*: appending k leaves to an n-leaf tree only touches the
+// new leaves' ancestors and the old rightmost path — Tree.Extend repairs
+// the level structure in O(k + log n) hashes instead of the O(n) rebuild
+// Build performs — and the append-only root can equally be carried as a
+// Frontier: the O(log n) stack of perfect-subtree roots (the binary
+// decomposition of n) from which the root is a right-to-left fold. The
+// server maintains a Tree per table (storage keeps it version-stamped
+// under the table lock); the client carries only a Frontier and advances
+// its pinned root from the leaf hashes of its own appends, with no
+// re-download.
+//
 // Scope note (recorded in DESIGN.md): inclusion proofs authenticate
 // *integrity* of returned tuples, not *completeness* of search results — a
 // malicious server may still withhold matches. Completeness for
@@ -40,7 +55,14 @@ const (
 // table order. Odd nodes are promoted unchanged to the next level, so the
 // proof shape is fully determined by (position, leaf count) and proofs can
 // consist of bare sibling hashes.
+//
+// A Tree is not safe for concurrent mutation: callers interleaving Extend
+// with Root/Prove must serialise externally (internal/storage does, under
+// the table lock). Hash values handed out by Root and Prove are never
+// mutated in place by later Extends, so proofs taken before an Extend
+// stay internally consistent.
 type Tree struct {
+	n      int        // real leaf count (0 for an empty table's sentinel tree)
 	levels [][][]byte // levels[0] = leaf hashes, last level = [root]
 }
 
@@ -79,14 +101,21 @@ func Build(t *ph.EncryptedTable) *Tree {
 	return fromLeaves(leaves)
 }
 
+// emptyRoot is the root of a zero-leaf tree: the hash of the empty string
+// under the leaf prefix.
+func emptyRoot() []byte {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	return h.Sum(nil)
+}
+
 // fromLeaves builds the level structure bottom-up.
 func fromLeaves(leaves [][]byte) *Tree {
+	tr := &Tree{n: len(leaves)}
 	if len(leaves) == 0 {
-		h := sha256.New()
-		h.Write([]byte{leafPrefix})
-		leaves = [][]byte{h.Sum(nil)}
+		leaves = [][]byte{emptyRoot()}
 	}
-	tr := &Tree{levels: [][][]byte{leaves}}
+	tr.levels = [][][]byte{leaves}
 	cur := leaves
 	for len(cur) > 1 {
 		next := make([][]byte, 0, (len(cur)+1)/2)
@@ -101,6 +130,54 @@ func fromLeaves(leaves [][]byte) *Tree {
 		cur = next
 	}
 	return tr
+}
+
+// Extend appends leaf hashes (LeafHash of the appended tuples, in table
+// order) to the tree and repairs the level structure incrementally. Only
+// the new leaves' ancestors and the old rightmost path are recomputed:
+// O(k + log n) hashes for k appended leaves, against the O(n) full
+// rebuild of Build. Extending the sentinel tree of an empty table
+// replaces it with a real tree over the new leaves.
+func (t *Tree) Extend(leaves [][]byte) {
+	if len(leaves) == 0 {
+		return
+	}
+	if t.n == 0 {
+		*t = *fromLeaves(leaves)
+		return
+	}
+	first := t.n // leftmost changed index, per level
+	t.levels[0] = append(t.levels[0], leaves...)
+	t.n += len(leaves)
+	for lvl := 0; len(t.levels[lvl]) > 1; lvl++ {
+		cur := t.levels[lvl]
+		parentW := (len(cur) + 1) / 2
+		if lvl+1 == len(t.levels) {
+			t.levels = append(t.levels, make([][]byte, parentW))
+		}
+		next := t.levels[lvl+1]
+		if cap(next) < parentW {
+			// Grow with slack so a run of small appends reallocates each
+			// level O(log growth) times, not once per Extend.
+			grown := make([][]byte, parentW, parentW+parentW/2+8)
+			copy(grown, next)
+			next = grown
+		} else {
+			next = next[:parentW]
+		}
+		// Repair from the parent of the leftmost changed node: when first
+		// is odd this also re-hashes the pair whose left half was
+		// previously a promoted odd node.
+		for j := first / 2; j < parentW; j++ {
+			if 2*j+1 < len(cur) {
+				next[j] = interiorHash(cur[2*j], cur[2*j+1])
+			} else {
+				next[j] = cur[2*j] // odd node promoted
+			}
+		}
+		t.levels[lvl+1] = next
+		first /= 2
+	}
 }
 
 // Root returns the 32-byte tree root.
@@ -126,11 +203,12 @@ type Proof struct {
 // Prove produces inclusion proofs for the given leaf positions.
 func (t *Tree) Prove(positions []int) ([]Proof, error) {
 	out := make([]Proof, len(positions))
+	height := len(t.levels) - 1
 	for k, pos := range positions {
 		if pos < 0 || pos >= t.LeafCount() {
 			return nil, fmt.Errorf("authindex: position %d out of range [0, %d)", pos, t.LeafCount())
 		}
-		p := Proof{Position: pos}
+		p := Proof{Position: pos, Siblings: make([][]byte, 0, height)}
 		idx := pos
 		for lvl := 0; lvl < len(t.levels)-1; lvl++ {
 			width := len(t.levels[lvl])
@@ -207,7 +285,17 @@ func DecodeProofs(r *wire.Buffer) ([]Proof, error) {
 	if err != nil {
 		return nil, fmt.Errorf("authindex: proof count: %w", err)
 	}
-	proofs := make([]Proof, 0, n)
+	// The preallocation hint is clamped by what the remaining payload
+	// could possibly encode (a proof is at least position + sibling
+	// count), so a hostile declared count cannot force a huge allocation;
+	// the loop still reads exactly the declared count and fails on a
+	// short buffer. Compare in uint64: int(n) would go negative on 32-bit
+	// platforms for counts above MaxInt32 and panic make().
+	capHint := r.Remaining() / 8
+	if uint64(n) < uint64(capHint) {
+		capHint = int(n)
+	}
+	proofs := make([]Proof, 0, capHint)
 	for i := uint32(0); i < n; i++ {
 		var p Proof
 		pos, err := r.U32()

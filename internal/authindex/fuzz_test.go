@@ -1,0 +1,107 @@
+package authindex
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// FuzzDecodeProofsVerify drives attacker-controlled bytes through the
+// proof decoder and the verifier: whatever DecodeProofs accepts must
+// never panic Verify, must never allocate count-proportional memory for
+// a lying declared count, and — the soundness property — must only
+// verify when it is byte-for-byte the honest proof for the claimed
+// (tuple, position, root, leaf count).
+func FuzzDecodeProofsVerify(f *testing.F) {
+	// Honest encodings at odd and even leaf counts seed the corpus, plus
+	// targeted mutants: swapped positions, truncated and extra siblings,
+	// flipped sibling bytes, malformed sibling widths, hostile counts.
+	for _, n := range []int{1, 2, 3, 5, 8, 9, 16, 17} {
+		tab := tableOf(n)
+		tree := Build(tab)
+		positions := make([]int, n)
+		for i := range positions {
+			positions[i] = i
+		}
+		proofs, err := tree.Prove(positions)
+		if err != nil {
+			f.Fatal(err)
+		}
+		honest := EncodeProofs(nil, proofs)
+		f.Add(honest, uint16(n))
+
+		// Swapped positions: proof i claims proof (i+1)'s position.
+		swapped := make([]Proof, len(proofs))
+		copy(swapped, proofs)
+		if n >= 2 {
+			swapped[0], swapped[1] = swapped[1], swapped[0]
+			f.Add(EncodeProofs(nil, swapped), uint16(n))
+		}
+		// Truncated siblings on the first proof.
+		if len(proofs[0].Siblings) > 0 {
+			trunc := Proof{Position: proofs[0].Position, Siblings: proofs[0].Siblings[1:]}
+			f.Add(EncodeProofs(nil, []Proof{trunc}), uint16(n))
+		}
+		// Extra sibling appended.
+		extra := Proof{Position: proofs[0].Position,
+			Siblings: append(append([][]byte{}, proofs[0].Siblings...), make([]byte, HashSize))}
+		f.Add(EncodeProofs(nil, []Proof{extra}), uint16(n))
+		// Flipped sibling byte.
+		if len(proofs[0].Siblings) > 0 {
+			mut := Proof{Position: proofs[0].Position,
+				Siblings: append([][]byte{}, proofs[0].Siblings...)}
+			mut.Siblings[0] = append([]byte(nil), mut.Siblings[0]...)
+			mut.Siblings[0][0] ^= 1
+			f.Add(EncodeProofs(nil, []Proof{mut}), uint16(n))
+		}
+		// Malformed sibling width.
+		f.Add(EncodeProofs(nil, []Proof{{Position: 0, Siblings: [][]byte{{1, 2, 3}}}}), uint16(n))
+	}
+	// Hostile declared counts over tiny payloads.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, uint16(8))
+	f.Add(wire.AppendU32(wire.AppendU32(nil, 1), 0xFFFFFFFF), uint16(8))
+	f.Add([]byte{}, uint16(8))
+
+	f.Fuzz(func(t *testing.T, data []byte, leafRaw uint16) {
+		n := int(leafRaw)%40 + 1
+		tab := tableOf(n)
+		tree := Build(tab)
+		root := tree.Root()
+
+		proofs, err := DecodeProofs(wire.NewBuffer(data))
+		if err != nil {
+			return // malformed encodings must be rejected, never panic
+		}
+		for _, p := range proofs {
+			if p.Position < 0 || p.Position >= n {
+				if Verify(root, n, tab.Tuples[0], p) == nil {
+					t.Fatalf("out-of-range position %d verified", p.Position)
+				}
+				continue
+			}
+			err := Verify(root, n, tab.Tuples[p.Position], p)
+			// Soundness: a decoded proof may only verify if it is exactly
+			// the honest proof for (position, n).
+			honest, herr := tree.Prove([]int{p.Position})
+			if herr != nil {
+				t.Fatalf("Prove(%d) on honest tree: %v", p.Position, herr)
+			}
+			same := len(p.Siblings) == len(honest[0].Siblings)
+			if same {
+				for i := range p.Siblings {
+					if !bytes.Equal(p.Siblings[i], honest[0].Siblings[i]) {
+						same = false
+						break
+					}
+				}
+			}
+			if same && err != nil {
+				t.Fatalf("honest proof for position %d rejected: %v", p.Position, err)
+			}
+			if !same && err == nil {
+				t.Fatalf("forged proof for position %d accepted (siblings differ from honest)", p.Position)
+			}
+		}
+	})
+}

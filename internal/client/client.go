@@ -7,8 +7,10 @@ package client
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 
 	"repro/internal/authindex"
@@ -82,7 +84,20 @@ func (c *Conn) Store(name string, t *ph.EncryptedTable) error {
 	return nil
 }
 
-// Insert appends encrypted tuples to a stored table.
+// InsertAck is the server's placement acknowledgement for an insert:
+// where the batch landed and the table version it installed.
+type InsertAck struct {
+	// Base is the table's tuple count before the append — the index the
+	// batch's first tuple landed at.
+	Base int
+	// Count is the number of tuples appended.
+	Count int
+	// Version is the store version the append installed.
+	Version uint64
+}
+
+// Insert appends encrypted tuples to a stored table via the legacy
+// CmdInsert (bare RespOK ack).
 func (c *Conn) Insert(name string, tuples []ph.EncryptedTuple) error {
 	payload := wire.AppendString(nil, name)
 	payload = wire.AppendU32(payload, uint32(len(tuples)))
@@ -97,6 +112,40 @@ func (c *Conn) Insert(name string, tuples []ph.EncryptedTuple) error {
 		return fmt.Errorf("client: unexpected response %#x to insert", resp.Type)
 	}
 	return nil
+}
+
+// InsertStamped appends encrypted tuples to a stored table via
+// CmdInsertStamped and returns the server's placement ack, from which a
+// verifying client advances its pinned authenticated root incrementally
+// (the leaves are the client's own tuples; the ack says where they
+// went).
+func (c *Conn) InsertStamped(name string, tuples []ph.EncryptedTuple) (InsertAck, error) {
+	payload := wire.AppendString(nil, name)
+	payload = wire.AppendU32(payload, uint32(len(tuples)))
+	for _, tp := range tuples {
+		payload = wire.EncodeTuple(payload, tp)
+	}
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdInsertStamped, Payload: payload})
+	if err != nil {
+		return InsertAck{}, err
+	}
+	if resp.Type != wire.RespInserted {
+		return InsertAck{}, fmt.Errorf("client: unexpected response %#x to stamped insert", resp.Type)
+	}
+	r := wire.NewBuffer(resp.Payload)
+	base, err := r.U32()
+	if err != nil {
+		return InsertAck{}, fmt.Errorf("client: insert ack base: %w", err)
+	}
+	count, err := r.U32()
+	if err != nil {
+		return InsertAck{}, fmt.Errorf("client: insert ack count: %w", err)
+	}
+	version, err := r.U64()
+	if err != nil {
+		return InsertAck{}, fmt.Errorf("client: insert ack version: %w", err)
+	}
+	return InsertAck{Base: int(base), Count: int(count), Version: version}, nil
 }
 
 // Query evaluates an encrypted query server-side.
@@ -181,29 +230,56 @@ func (c *Conn) List() ([]wire.TableInfo, error) {
 	return wire.DecodeList(wire.NewBuffer(resp.Payload))
 }
 
-// Root fetches the server's authenticated-index root and tuple count for a
-// table (extension).
-func (c *Conn) Root(name string) (root []byte, tuples int, err error) {
+// Root fetches the server's authenticated-index root, tuple count and
+// version stamp for a table (extension). Caveat: a root fetched here and
+// proofs fetched by a later Prove are separate snapshots — a mutation
+// between the two calls makes honest proofs fail against this root. Use
+// QueryVerified for a race-free verified read.
+func (c *Conn) Root(name string) (root []byte, tuples int, version uint64, err error) {
 	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdRoot, Payload: wire.AppendString(nil, name)})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if resp.Type != wire.RespRoot {
-		return nil, 0, fmt.Errorf("client: unexpected response %#x to root", resp.Type)
+		return nil, 0, 0, fmt.Errorf("client: unexpected response %#x to root", resp.Type)
 	}
 	r := wire.NewBuffer(resp.Payload)
 	root, err = r.Bytes()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	n, err := r.U32()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return root, int(n), nil
+	version, err = r.U64()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return root, int(n), version, nil
 }
 
-// Prove fetches inclusion proofs for result positions (extension).
+// QueryVerified evaluates an encrypted query server-side and returns the
+// result with inclusion proofs, root, leaf count and version cut from
+// one server-side snapshot (extension). Proofs always verify against the
+// returned root; trusting that root is the caller's decision (DB
+// compares it against the pinned one).
+func (c *Conn) QueryVerified(name string, q *ph.EncryptedQuery) (*authindex.VerifiedResult, error) {
+	payload := wire.AppendString(nil, name)
+	payload = wire.EncodeQuery(payload, q)
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdQueryVerified, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.RespResultVerified {
+		return nil, fmt.Errorf("client: unexpected response %#x to verified query", resp.Type)
+	}
+	return authindex.DecodeVerifiedResult(wire.NewBuffer(resp.Payload))
+}
+
+// Prove fetches inclusion proofs for result positions (extension). Same
+// caveat as Root: the proofs describe the table as of this call, not as
+// of any earlier Root fetch.
 func (c *Conn) Prove(name string, positions []int) ([]authindex.Proof, error) {
 	payload := wire.AppendString(nil, name)
 	payload = wire.AppendU32(payload, uint32(len(positions)))
@@ -228,9 +304,19 @@ type DB struct {
 	table  string
 
 	// root pins the authenticated-index root after CreateTable /
-	// Verify; nil disables verification.
+	// PinRoot; nil disables verification.
 	root       []byte
 	rootTuples int
+	// rootVersion is the last server version stamp observed for a
+	// snapshot matching the pinned root (informational: version stamps
+	// are server-asserted and carry no authentication).
+	rootVersion uint64
+	// frontier is the O(log n) Merkle frontier behind the pinned root.
+	// While present, the client's own inserts advance the root from
+	// their local leaf hashes — no re-download. It is nil after PinRoot
+	// (only the 32-byte anchor was persisted); the first insert then
+	// rebuilds it from a fetch *verified against the pinned root*.
+	frontier *authindex.Frontier
 }
 
 // NewDB binds a scheme to a connection and remote table name.
@@ -249,8 +335,12 @@ func (db *DB) Root() (root []byte, tuples int) {
 }
 
 // PinRoot installs a previously persisted root (e.g. after a client
-// restart). Passing a nil root disables verification.
+// restart). Passing a nil root disables verification. Only the anchor is
+// installed: the Merkle frontier behind it is rebuilt lazily — and
+// verified against this root — on the first insert that needs it.
 func (db *DB) PinRoot(root []byte, tuples int) {
+	db.frontier = nil
+	db.rootVersion = 0
 	if root == nil {
 		db.root, db.rootTuples = nil, 0
 		return
@@ -260,7 +350,8 @@ func (db *DB) PinRoot(root []byte, tuples int) {
 }
 
 // CreateTable encrypts and uploads the plaintext table, pinning the
-// authenticated-index root of the uploaded ciphertext.
+// authenticated-index root of the uploaded ciphertext and keeping its
+// frontier so later inserts advance the root incrementally.
 func (db *DB) CreateTable(t *relation.Table) error {
 	ct, err := db.scheme.EncryptTable(t)
 	if err != nil {
@@ -269,9 +360,10 @@ func (db *DB) CreateTable(t *relation.Table) error {
 	if err := db.conn.Store(db.table, ct); err != nil {
 		return err
 	}
-	tree := authindex.Build(ct)
-	db.root = tree.Root()
-	db.rootTuples = len(ct.Tuples)
+	db.frontier = authindex.FrontierOf(ct)
+	db.root = db.frontier.Root()
+	db.rootTuples = db.frontier.Count()
+	db.rootVersion = 0
 	return nil
 }
 
@@ -287,34 +379,86 @@ func (db *DB) encryptTuples(tuples []relation.Tuple) (*ph.EncryptedTable, error)
 	return db.scheme.EncryptTable(t)
 }
 
-// refreshRoot re-pins the authenticated-index root from a full fetch if
-// one is pinned; a no-op otherwise. (An optimisation would maintain the
-// root incrementally; kept simple here.)
-func (db *DB) refreshRoot() error {
-	if db.root == nil {
+// RepinRoot re-pins the authenticated-index root (and rebuilds the
+// frontier) from a full fetch of the server's current table. This is the
+// explicit recovery path — it *trusts* the fetched ciphertext exactly as
+// CreateTable trusts the upload — for when the client knowingly lost
+// sync with the table (another writer appended, a partial batch failure,
+// a deliberate server-side reload). Routine inserts never call it: they
+// advance the root incrementally from their own leaf hashes.
+func (db *DB) RepinRoot() error {
+	full, err := db.conn.FetchAll(db.table)
+	if err != nil {
+		return err
+	}
+	db.frontier = authindex.FrontierOf(full)
+	db.root = db.frontier.Root()
+	db.rootTuples = db.frontier.Count()
+	db.rootVersion = 0
+	return nil
+}
+
+// ensureFrontier makes the frontier behind the pinned root available,
+// rebuilding it from a full fetch when only the anchor was persisted
+// (PinRoot after a restart). Unlike RepinRoot, the rebuild is *verified*:
+// the fetched table must hash back to the pinned root, so a tampering
+// server cannot use the rebuild to swap the anchor from under the client.
+func (db *DB) ensureFrontier() error {
+	if db.frontier != nil {
 		return nil
 	}
 	full, err := db.conn.FetchAll(db.table)
 	if err != nil {
 		return err
 	}
-	tree := authindex.Build(full)
-	db.root = tree.Root()
-	db.rootTuples = len(full.Tuples)
+	f := authindex.FrontierOf(full)
+	if !bytes.Equal(f.Root(), db.root) || f.Count() != db.rootTuples {
+		return fmt.Errorf("client: server table does not match the pinned root (%d tuples fetched, %d pinned) — verification failed; RepinRoot only if the mismatch is expected", f.Count(), db.rootTuples)
+	}
+	db.frontier = f
 	return nil
 }
 
-// Insert encrypts and appends plaintext tuples. Appending changes the
-// table, so the pinned root is refreshed from a full fetch.
+// advanceRoot folds an insert's placement ack and the locally encrypted
+// tuples into the pinned root. The server appends batches in the order
+// sent, so the leaves are known locally; the ack only has to confirm
+// *where* they landed. A base that is not the frontier's leaf count means
+// someone else moved the table (or a pre-placement server answered) —
+// the pin is stale and the caller must decide (RepinRoot) rather than
+// have the client silently adopt foreign leaves it cannot hash.
+func (db *DB) advanceRoot(ack InsertAck, tuples []ph.EncryptedTuple) error {
+	if ack.Base != db.frontier.Count() {
+		return fmt.Errorf("client: insert landed at tuple %d but the pinned root covers %d — concurrent external writes; call RepinRoot to resync (or pin a fresh root)", ack.Base, db.frontier.Count())
+	}
+	for _, tp := range tuples {
+		db.frontier.AppendTuple(tp)
+	}
+	db.root = db.frontier.Root()
+	db.rootTuples = db.frontier.Count()
+	db.rootVersion = ack.Version
+	return nil
+}
+
+// Insert encrypts and appends plaintext tuples. With a pinned root, the
+// root advances incrementally from the placement ack and the local leaf
+// hashes — O(k log n) hashing and zero extra round trips, against the
+// old full-table re-download per insert.
 func (db *DB) Insert(tuples ...relation.Tuple) error {
 	ct, err := db.encryptTuples(tuples)
 	if err != nil {
 		return err
 	}
-	if err := db.conn.Insert(db.table, ct.Tuples); err != nil {
+	if db.root == nil {
+		return db.conn.Insert(db.table, ct.Tuples)
+	}
+	if err := db.ensureFrontier(); err != nil {
 		return err
 	}
-	return db.refreshRoot()
+	ack, err := db.conn.InsertStamped(db.table, ct.Tuples)
+	if err != nil {
+		return err
+	}
+	return db.advanceRoot(ack, ct.Tuples)
 }
 
 // InsertBatch encrypts the tuples once and appends them to the remote
@@ -325,8 +469,14 @@ func (db *DB) Insert(tuples ...relation.Tuple) error {
 // acknowledged when InsertBatch returns (under the server's sync
 // policy). Chunks from different workers interleave, so the server-side
 // tuple order within the batch is unspecified — exact selects don't
-// care, and the pinned root (if any) is refreshed from a full fetch
-// afterwards, exactly like Insert.
+// care, and the pinned root (if any) advances from the per-chunk
+// placement acks: each ack says where its chunk landed, so sorting the
+// acks by base reconstructs the server-side leaf order from purely local
+// hashes. When that reconstruction is impossible — a worker failed (its
+// chunk may or may not have landed) or a foreign writer interleaved —
+// the pin is left untouched and the returned error says to call
+// RepinRoot: re-pinning silently would extend full-fetch trust to the
+// server on a call that reports success.
 //
 // workers <= 0 defaults to 4; chunk <= 0 defaults to 256. A nil dial
 // falls back to a serial Insert over the DB's own connection.
@@ -344,6 +494,11 @@ func (db *DB) InsertBatch(dial func() (*Conn, error), workers, chunk int, tuples
 	if err != nil {
 		return err
 	}
+	if db.root != nil {
+		if err := db.ensureFrontier(); err != nil {
+			return err
+		}
+	}
 	var chunks [][]ph.EncryptedTuple
 	for off := 0; off < len(ct.Tuples); off += chunk {
 		end := min(off+chunk, len(ct.Tuples))
@@ -355,8 +510,14 @@ func (db *DB) InsertBatch(dial func() (*Conn, error), workers, chunk int, tuples
 	if w := len(chunks); w < workers {
 		workers = w
 	}
-	work := make(chan []ph.EncryptedTuple)
+	type job struct {
+		idx   int
+		batch []ph.EncryptedTuple
+	}
+	work := make(chan job)
 	errs := make([]error, workers)
+	acks := make([]InsertAck, len(chunks))
+	acked := make([]bool, len(chunks))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -371,18 +532,20 @@ func (db *DB) InsertBatch(dial func() (*Conn, error), workers, chunk int, tuples
 				return
 			}
 			defer conn.Close()
-			for batch := range work {
-				if err := conn.Insert(db.table, batch); err != nil {
+			for j := range work {
+				ack, err := conn.InsertStamped(db.table, j.batch)
+				if err != nil {
 					errs[w] = fmt.Errorf("client: batch insert worker %d: %w", w, err)
 					for range work {
 					}
 					return
 				}
+				acks[j.idx], acked[j.idx] = ack, true
 			}
 		}(w)
 	}
-	for _, c := range chunks {
-		work <- c
+	for i, c := range chunks {
+		work <- job{idx: i, batch: c}
 	}
 	close(work)
 	wg.Wait()
@@ -393,20 +556,73 @@ func (db *DB) InsertBatch(dial func() (*Conn, error), workers, chunk int, tuples
 			break
 		}
 	}
-	// Refresh the pinned root even on partial failure: chunks from the
-	// surviving workers have already landed, so leaving the old root
-	// pinned would make every later verified select fail as if the
-	// server had tampered.
-	if err := db.refreshRoot(); err != nil && firstErr == nil {
-		firstErr = err
+	if db.root == nil {
+		return firstErr
+	}
+	// Advance the pinned root from the placement acks: sort the acked
+	// chunks by landing position and append their leaf hashes in server
+	// order. The bases must tile [frontier.Count(), …) exactly; any gap
+	// means an unacked chunk may have landed inside it or a foreign
+	// writer interleaved, and the only sound continuation is the
+	// caller's explicit RepinRoot — re-pinning silently here would let a
+	// misbehaving server swap the trust anchor under a call that then
+	// reports success. Until the caller resyncs, verified selects fail
+	// with a root mismatch naming the same recovery path.
+	if err := db.advanceRootBatch(chunks, acks, acked); err != nil {
+		err = fmt.Errorf("client: batch inserted but the pinned root could not be advanced (%v) — call RepinRoot to resync", err)
+		if firstErr == nil {
+			firstErr = err
+		} else {
+			firstErr = fmt.Errorf("%w; additionally: %v", firstErr, err)
+		}
 	}
 	return firstErr
 }
 
+// advanceRootBatch folds the acked chunks of one InsertBatch into the
+// pinned root, in server-side landing order. It fails (without touching
+// the pin) when the acks do not contiguously extend the frontier.
+func (db *DB) advanceRootBatch(chunks [][]ph.EncryptedTuple, acks []InsertAck, acked []bool) error {
+	idx := make([]int, 0, len(chunks))
+	for i := range chunks {
+		if acked[i] {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return acks[idx[a]].Base < acks[idx[b]].Base })
+	next := db.frontier.Count()
+	for _, i := range idx {
+		if acks[i].Base != next {
+			return fmt.Errorf("client: chunk landed at %d, frontier at %d", acks[i].Base, next)
+		}
+		next += len(chunks[i])
+	}
+	// Contiguity proven; now actually advance.
+	var version uint64
+	for _, i := range idx {
+		for _, tp := range chunks[i] {
+			db.frontier.AppendTuple(tp)
+		}
+		if acks[i].Version > version {
+			version = acks[i].Version
+		}
+	}
+	db.root = db.frontier.Root()
+	db.rootTuples = db.frontier.Count()
+	if version != 0 {
+		db.rootVersion = version
+	}
+	return nil
+}
+
 // Select runs one exact select end to end: encrypt the query, evaluate it
-// at the server, decrypt, filter false positives. If a root is pinned, each
-// returned tuple's inclusion proof is verified first (extension).
+// at the server, decrypt, filter false positives. If a root is pinned, it
+// runs as a VerifiedQuery: one round trip whose result, proofs and root
+// come from the same server snapshot (extension).
 func (db *DB) Select(q relation.Eq) (*relation.Table, error) {
+	if db.root != nil {
+		return db.VerifiedQuery(q)
+	}
 	eq, err := db.scheme.EncryptQuery(q)
 	if err != nil {
 		return nil, err
@@ -415,12 +631,47 @@ func (db *DB) Select(q relation.Eq) (*relation.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if db.root != nil {
-		if err := db.verifyResult(res); err != nil {
-			return nil, err
+	return db.scheme.DecryptResult(q, res)
+}
+
+// VerifiedQuery runs one exact select through the one-round verified
+// protocol: the server answers with (result, proofs, root, leaf count,
+// version) cut from a single table snapshot. Every returned tuple is
+// verified against the *pinned* root before decryption; any mismatch —
+// wrong root, wrong count, missing or misplaced proof, failed hash chain
+// — refuses the answer. Because proofs travel with the root they belong
+// to, a mutation racing the query can never make an honest answer fail
+// (the legacy Root-then-Prove TOCTOU); what a mismatch now means is that
+// the *table* no longer matches the client's pin — tampering, or a
+// foreign writer the client must acknowledge via RepinRoot.
+func (db *DB) VerifiedQuery(q relation.Eq) (*relation.Table, error) {
+	if db.root == nil {
+		return nil, fmt.Errorf("client: VerifiedQuery without a pinned root (CreateTable or PinRoot first)")
+	}
+	eq, err := db.scheme.EncryptQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	vr, err := db.conn.QueryVerified(db.table, eq)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(vr.Root, db.root) || vr.Leaves != db.rootTuples {
+		return nil, fmt.Errorf("client: verification failed: server root does not match the pinned root (server %d tuples, pinned %d) — tampering or unacknowledged external writes", vr.Leaves, db.rootTuples)
+	}
+	if len(vr.Proofs) != len(vr.Result.Tuples) || len(vr.Result.Tuples) != len(vr.Result.Positions) {
+		return nil, fmt.Errorf("client: verification failed: %d proofs for %d tuples at %d positions", len(vr.Proofs), len(vr.Result.Tuples), len(vr.Result.Positions))
+	}
+	for i, p := range vr.Proofs {
+		if p.Position != vr.Result.Positions[i] {
+			return nil, fmt.Errorf("client: verification failed: proof %d speaks about position %d, want %d", i, p.Position, vr.Result.Positions[i])
+		}
+		if err := authindex.Verify(db.root, db.rootTuples, vr.Result.Tuples[i], p); err != nil {
+			return nil, fmt.Errorf("client: result tuple %d failed verification: %w", i, err)
 		}
 	}
-	return db.scheme.DecryptResult(q, res)
+	db.rootVersion = vr.Version
+	return db.scheme.DecryptResult(q, vr.Result)
 }
 
 // SelectMany runs several exact selects in one server round trip and
@@ -456,8 +707,14 @@ func (db *DB) SelectMany(qs []relation.Eq) ([]*relation.Table, error) {
 	return out, nil
 }
 
-// verifyResult checks inclusion proofs for every returned tuple against the
-// pinned root.
+// verifyResult checks inclusion proofs for every returned tuple against
+// the pinned root, via the legacy two-round protocol (the result arrived
+// earlier; the proofs are fetched now). Caveat, by construction of the
+// two rounds: a mutation landing between result and proofs yields proofs
+// for a tree the pinned root does not describe, so an *honest* answer can
+// fail verification under concurrent writes. SelectMany accepts this for
+// the sake of the batched round trip; single selects use the race-free
+// VerifiedQuery instead.
 func (db *DB) verifyResult(res *ph.Result) error {
 	if len(res.Positions) == 0 {
 		return nil

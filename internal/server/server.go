@@ -8,6 +8,18 @@
 // the protocol (the trust model of §2's "Alex trusts Eve to behave
 // according to protocol"), while everything it learns is available for
 // offline analysis via the storage log.
+//
+// Beyond the paper, the server also serves the authenticated-index
+// extension (internal/authindex) so clients need not extend that trust:
+// CmdQueryVerified answers with (result, proofs, root, leaf count,
+// version) cut from one read-locked store snapshot — the proofs always
+// verify against the root they travel with, so a mutation racing the
+// request can never make an honest answer look tampered. The legacy
+// CmdRoot/CmdProve pair is kept working (now served from the store's
+// incremental index instead of a per-request deep copy and rebuild), but
+// it remains two round trips: a mutation landing between them yields
+// proofs for a newer tree than the fetched root, which a verifying
+// client must treat as a mismatch. New code should use CmdQueryVerified.
 package server
 
 import (
@@ -257,7 +269,7 @@ func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 		}
 		return wire.Frame{Type: wire.RespOK}, nil
 
-	case wire.CmdInsert:
+	case wire.CmdInsert, wire.CmdInsertStamped:
 		name, err := r.String()
 		if err != nil {
 			return wire.Frame{}, err
@@ -274,10 +286,20 @@ func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 			}
 			tuples = append(tuples, tp)
 		}
-		if err := s.store.Append(name, tuples); err != nil {
+		base, version, err := s.store.AppendStamped(name, tuples)
+		if err != nil {
 			return wire.Frame{}, err
 		}
-		return wire.Frame{Type: wire.RespOK}, nil
+		if f.Type == wire.CmdInsert {
+			// Legacy ack, so pre-extension clients keep working.
+			return wire.Frame{Type: wire.RespOK}, nil
+		}
+		// The placement ack lets a verifying client advance its pinned
+		// root from its own leaf hashes instead of re-downloading.
+		payload := wire.AppendU32(scratch, uint32(base))
+		payload = wire.AppendU32(payload, uint32(len(tuples)))
+		payload = wire.AppendU64(payload, version)
+		return wire.Frame{Type: wire.RespInserted, Payload: payload}, nil
 
 	case wire.CmdQuery:
 		name, err := r.String()
@@ -349,20 +371,27 @@ func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 		return wire.Frame{Type: wire.RespList, Payload: wire.EncodeList(scratch, s.store.List())}, nil
 
 	case wire.CmdRoot:
+		// Legacy command, kept working: the root now comes from the
+		// store's incremental index (no per-request deep copy or tree
+		// rebuild) and is version-stamped. Caveat: a root fetched here
+		// and proofs fetched by a later CmdProve may straddle a mutation;
+		// CmdQueryVerified is the race-free path.
 		name, err := r.String()
 		if err != nil {
 			return wire.Frame{}, err
 		}
-		t, err := s.store.Get(name)
+		root, tuples, version, err := s.store.Root(name)
 		if err != nil {
 			return wire.Frame{}, err
 		}
-		tree := authindex.Build(t)
-		payload := wire.AppendBytes(scratch, tree.Root())
-		payload = wire.AppendU32(payload, uint32(len(t.Tuples)))
+		payload := wire.AppendBytes(scratch, root)
+		payload = wire.AppendU32(payload, uint32(tuples))
+		payload = wire.AppendU64(payload, version)
 		return wire.Frame{Type: wire.RespRoot, Payload: payload}, nil
 
 	case wire.CmdProve:
+		// Legacy command, kept working; same caveat as CmdRoot. Proofs
+		// are cut from the incremental index under one lock acquisition.
 		name, err := r.String()
 		if err != nil {
 			return wire.Frame{}, err
@@ -371,24 +400,37 @@ func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 		if err != nil {
 			return wire.Frame{}, err
 		}
-		positions := make([]int, n)
-		for i := range positions {
+		// The preallocation is clamped by what the payload could
+		// possibly hold (4 bytes per position) — a hostile count in a
+		// small frame must not force a count-proportional allocation.
+		positions := make([]int, 0, clampCount(n, r.Remaining()/4))
+		for i := uint32(0); i < n; i++ {
 			p, err := r.U32()
 			if err != nil {
 				return wire.Frame{}, err
 			}
-			positions[i] = int(p)
+			positions = append(positions, int(p))
 		}
-		t, err := s.store.Get(name)
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		tree := authindex.Build(t)
-		proofs, err := tree.Prove(positions)
+		proofs, _, _, _, err := s.store.Prove(name, positions)
 		if err != nil {
 			return wire.Frame{}, err
 		}
 		return wire.Frame{Type: wire.RespProofs, Payload: authindex.EncodeProofs(scratch, proofs)}, nil
+
+	case wire.CmdQueryVerified:
+		name, err := r.String()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		q, err := wire.DecodeQuery(r)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		vr, err := s.store.QueryVerified(name, q)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		return wire.Frame{Type: wire.RespResultVerified, Payload: authindex.EncodeVerifiedResult(scratch, vr)}, nil
 
 	default:
 		return wire.Frame{}, fmt.Errorf("server: unknown command %#x", f.Type)

@@ -122,6 +122,9 @@ func TestDispatchRootAndProve(t *testing.T) {
 	if count != 5 || len(root) != authindex.HashSize {
 		t.Fatalf("root payload: %d leaves, %d-byte root", count, len(root))
 	}
+	if _, err := r.U64(); err != nil {
+		t.Fatalf("root payload missing version stamp: %v", err)
+	}
 
 	payload := wire.AppendString(nil, "emp")
 	payload = wire.AppendU32(payload, 1)
@@ -302,12 +305,179 @@ func TestHostileCountsDoNotAllocate(t *testing.T) {
 	if resp := s.dispatch(storeFrame("emp", encTable(1)), nil); resp.Type != wire.RespOK {
 		t.Fatalf("store: %#x", resp.Type)
 	}
-	for _, cmd := range []byte{wire.CmdQueryBatch, wire.CmdInsert} {
+	// CmdProve was the one handler that skipped the clamp (make([]int, n)
+	// from the wire-declared count): a 10-byte frame could force a
+	// multi-GB allocation. Regression: it must behave like the others.
+	for _, cmd := range []byte{wire.CmdQueryBatch, wire.CmdInsert, wire.CmdProve} {
 		payload := wire.AppendString(nil, "emp")
 		payload = wire.AppendU32(payload, 0xFFFFFFFF) // declared count
 		resp := s.dispatch(wire.Frame{Type: cmd, Payload: payload}, nil)
 		if resp.Type != wire.RespError {
 			t.Fatalf("cmd %#x with hostile count: response %#x, want error", cmd, resp.Type)
+		}
+	}
+}
+
+// TestHostileProveCountAllocation pins the CmdProve fix quantitatively: a
+// hostile frame declaring 2^32-1 positions over a 4-byte body must not
+// allocate count-proportional memory (the seed preallocated a ~32 GiB
+// []int for it).
+func TestHostileProveCountAllocation(t *testing.T) {
+	s := New(testStore(t), nil)
+	if resp := s.dispatch(storeFrame("emp", encTable(1)), nil); resp.Type != wire.RespOK {
+		t.Fatalf("store: %#x", resp.Type)
+	}
+	payload := wire.AppendString(nil, "emp")
+	payload = wire.AppendU32(payload, 0xFFFFFFFF)
+	payload = wire.AppendU32(payload, 0) // one real position, 2^32-1 declared
+	allocs := testing.AllocsPerRun(20, func() {
+		if resp := s.dispatch(wire.Frame{Type: wire.CmdProve, Payload: payload}, nil); resp.Type != wire.RespError {
+			t.Fatalf("hostile prove count answered %#x, want error", resp.Type)
+		}
+	})
+	// The whole dispatch costs a handful of allocations; a
+	// count-proportional preallocation would show up as one huge one.
+	if allocs > 64 {
+		t.Fatalf("hostile prove frame cost %.0f allocs — count-proportional preallocation suspected", allocs)
+	}
+}
+
+// verifiedQueryFrame builds a CmdQueryVerified frame.
+func verifiedQueryFrame(name string, q *ph.EncryptedQuery) wire.Frame {
+	payload := wire.AppendString(nil, name)
+	payload = wire.EncodeQuery(payload, q)
+	return wire.Frame{Type: wire.CmdQueryVerified, Payload: payload}
+}
+
+// TestDispatchQueryVerified: the one-round verified answer must be
+// internally consistent — proofs verify the returned tuples against the
+// returned root and leaf count.
+func TestDispatchQueryVerified(t *testing.T) {
+	s := New(testStore(t), nil)
+	et := encTable(7)
+	if resp := s.dispatch(storeFrame("emp", et), nil); resp.Type != wire.RespOK {
+		t.Fatal("store failed")
+	}
+	resp := s.dispatch(verifiedQueryFrame("emp", &ph.EncryptedQuery{SchemeID: "server-test", Token: []byte{1}}), nil)
+	if resp.Type != wire.RespResultVerified {
+		t.Fatalf("verified query response %#x: %s", resp.Type, resp.Payload)
+	}
+	vr, err := authindex.DecodeVerifiedResult(wire.NewBuffer(resp.Payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Leaves != 7 || len(vr.Root) != authindex.HashSize || vr.Version == 0 {
+		t.Fatalf("snapshot metadata: %d leaves, %d-byte root, version %d", vr.Leaves, len(vr.Root), vr.Version)
+	}
+	if len(vr.Proofs) != len(vr.Result.Tuples) {
+		t.Fatalf("%d proofs for %d tuples", len(vr.Proofs), len(vr.Result.Tuples))
+	}
+	for i, p := range vr.Proofs {
+		if err := authindex.Verify(vr.Root, vr.Leaves, vr.Result.Tuples[i], p); err != nil {
+			t.Fatalf("proof %d rejected: %v", i, err)
+		}
+	}
+}
+
+// insertFrame builds a CmdInsertStamped frame.
+func insertFrame(name string, tuples []ph.EncryptedTuple) wire.Frame {
+	payload := wire.AppendString(nil, name)
+	payload = wire.AppendU32(payload, uint32(len(tuples)))
+	for _, tp := range tuples {
+		payload = wire.EncodeTuple(payload, tp)
+	}
+	return wire.Frame{Type: wire.CmdInsertStamped, Payload: payload}
+}
+
+// TestInsertAckCompat: legacy CmdInsert must keep answering bare RespOK
+// (pre-extension clients reject anything else), while CmdInsertStamped
+// carries the placement ack.
+func TestInsertAckCompat(t *testing.T) {
+	s := New(testStore(t), nil)
+	if resp := s.dispatch(storeFrame("emp", encTable(2)), nil); resp.Type != wire.RespOK {
+		t.Fatal("store failed")
+	}
+	legacy := insertFrame("emp", encTable(1).Tuples)
+	legacy.Type = wire.CmdInsert
+	if resp := s.dispatch(legacy, nil); resp.Type != wire.RespOK {
+		t.Fatalf("legacy CmdInsert answered %#x, want bare RespOK", resp.Type)
+	}
+	resp := s.dispatch(insertFrame("emp", encTable(1).Tuples), nil)
+	if resp.Type != wire.RespInserted {
+		t.Fatalf("CmdInsertStamped answered %#x, want RespInserted", resp.Type)
+	}
+	r := wire.NewBuffer(resp.Payload)
+	base, err := r.U32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 3 {
+		t.Fatalf("stamped insert base %d, want 3 (2 stored + 1 legacy insert)", base)
+	}
+}
+
+// TestRootProveTOCTOURegression is the regression test for the
+// verification race the one-round protocol closes. Legacy sequence: the
+// client fetches the root, a mutation lands, the client asks for proofs
+// — the proofs describe a tree the fetched root does not, so an honest
+// answer fails verification (the documented caveat on CmdRoot/CmdProve,
+// asserted here so the failure mode stays understood). New sequence: the
+// same interleaved mutation, but the verified query returns proofs and
+// root from one snapshot — verification must succeed.
+func TestRootProveTOCTOURegression(t *testing.T) {
+	s := New(testStore(t), nil)
+	et := encTable(6)
+	if resp := s.dispatch(storeFrame("emp", et), nil); resp.Type != wire.RespOK {
+		t.Fatal("store failed")
+	}
+
+	// --- Legacy two-round path: fetch root, then mutate, then prove. ---
+	resp := s.dispatch(wire.Frame{Type: wire.CmdRoot, Payload: wire.AppendString(nil, "emp")}, nil)
+	if resp.Type != wire.RespRoot {
+		t.Fatalf("root response %#x", resp.Type)
+	}
+	r := wire.NewBuffer(resp.Payload)
+	pinnedRoot, _ := r.Bytes()
+	pinnedCount, _ := r.U32()
+
+	// The interleaved mutation.
+	if resp := s.dispatch(insertFrame("emp", encTable(3).Tuples), nil); resp.Type != wire.RespInserted {
+		t.Fatalf("insert response %#x", resp.Type)
+	}
+
+	provePayload := wire.AppendString(nil, "emp")
+	provePayload = wire.AppendU32(provePayload, 1)
+	provePayload = wire.AppendU32(provePayload, 0)
+	resp = s.dispatch(wire.Frame{Type: wire.CmdProve, Payload: provePayload}, nil)
+	if resp.Type != wire.RespProofs {
+		t.Fatalf("prove response %#x", resp.Type)
+	}
+	proofs, err := authindex.DecodeProofs(wire.NewBuffer(resp.Payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := authindex.Verify(pinnedRoot, int(pinnedCount), et.Tuples[0], proofs[0]); err == nil {
+		t.Fatal("legacy two-round path verified across a mutation — the TOCTOU this PR documents should have made it fail")
+	}
+
+	// --- One-round path: mutate again, then query verified. ---
+	if resp := s.dispatch(insertFrame("emp", encTable(2).Tuples), nil); resp.Type != wire.RespInserted {
+		t.Fatalf("insert response %#x", resp.Type)
+	}
+	resp = s.dispatch(verifiedQueryFrame("emp", &ph.EncryptedQuery{SchemeID: "server-test", Token: []byte{1}}), nil)
+	if resp.Type != wire.RespResultVerified {
+		t.Fatalf("verified query response %#x: %s", resp.Type, resp.Payload)
+	}
+	vr, err := authindex.DecodeVerifiedResult(wire.NewBuffer(resp.Payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vr.Proofs) == 0 {
+		t.Fatal("verified query returned no proofs to check")
+	}
+	for i, p := range vr.Proofs {
+		if err := authindex.Verify(vr.Root, vr.Leaves, vr.Result.Tuples[i], p); err != nil {
+			t.Fatalf("one-round answer failed verification after interleaved mutations: %v", err)
 		}
 	}
 }

@@ -1,0 +1,287 @@
+package storage
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/authindex"
+	"repro/internal/ph"
+)
+
+// authRegisterOnce registers an evaluator with real selection semantics:
+// it matches every tuple whose first ID byte equals the token byte.
+var authRegisterOnce sync.Once
+
+func authTable(n int) *ph.EncryptedTable {
+	authRegisterOnce.Do(func() {
+		ph.RegisterEvaluator("authq-test", func(et *ph.EncryptedTable, q *ph.EncryptedQuery) (*ph.Result, error) {
+			var positions []int
+			for i, tp := range et.Tuples {
+				if len(tp.ID) > 0 && len(q.Token) > 0 && tp.ID[0] == q.Token[0] {
+					positions = append(positions, i)
+				}
+			}
+			return ph.SelectPositions(et, positions), nil
+		})
+	})
+	t := &ph.EncryptedTable{SchemeID: "authq-test", Meta: []byte{1}}
+	for i := 0; i < n; i++ {
+		t.Tuples = append(t.Tuples, ph.EncryptedTuple{
+			ID:    []byte{byte(i % 3), byte(i), byte(i >> 8)},
+			Blob:  []byte{0xB0, byte(i)},
+			Words: [][]byte{{0xA0, byte(i)}},
+		})
+	}
+	return t
+}
+
+func authQuery(b byte) *ph.EncryptedQuery {
+	return &ph.EncryptedQuery{SchemeID: "authq-test", Token: []byte{b}}
+}
+
+// TestRootIncrementalMatchesRebuild: the store-maintained root must equal
+// a from-scratch rebuild of the current table after every append.
+func TestRootIncrementalMatchesRebuild(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put("emp", authTable(5)); err != nil {
+		t.Fatal(err)
+	}
+	var lastVer uint64
+	for step := 0; step < 6; step++ {
+		root, n, ver, err := s.Root("emp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := s.Get("emp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(full.Tuples) {
+			t.Fatalf("step %d: Root reports %d tuples, table has %d", step, n, len(full.Tuples))
+		}
+		if want := authindex.Build(full).Root(); !bytes.Equal(root, want) {
+			t.Fatalf("step %d: incremental root differs from rebuild", step)
+		}
+		if ver <= lastVer && step > 0 {
+			t.Fatalf("step %d: version did not advance (%d -> %d)", step, lastVer, ver)
+		}
+		lastVer = ver
+		if err := s.Append("emp", authTable(step+1).Tuples); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAppendStampedPlacement: base must be the pre-append tuple count and
+// the version must match the table's.
+func TestAppendStampedPlacement(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put("emp", authTable(4)); err != nil {
+		t.Fatal(err)
+	}
+	base, v1, err := s.AppendStamped("emp", authTable(3).Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 4 {
+		t.Fatalf("first append base %d, want 4", base)
+	}
+	base, v2, err := s.AppendStamped("emp", authTable(2).Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 7 {
+		t.Fatalf("second append base %d, want 7", base)
+	}
+	if v2 <= v1 {
+		t.Fatalf("versions not monotonic: %d then %d", v1, v2)
+	}
+	if _, _, _, err := s.Root("emp"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, ver, err := s.Root("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != v2 {
+		t.Fatalf("Root version %d, want last append's %d", ver, v2)
+	}
+}
+
+// TestQueryVerifiedConsistentSnapshot: every component of a verified
+// answer must be internally consistent — proofs verify the returned
+// tuples against the returned root at the returned leaf count.
+func TestQueryVerifiedConsistentSnapshot(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put("emp", authTable(50)); err != nil {
+		t.Fatal(err)
+	}
+	vr, err := s.QueryVerified("emp", authQuery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vr.Result.Positions) == 0 {
+		t.Fatal("query matched nothing; test table broken")
+	}
+	if len(vr.Proofs) != len(vr.Result.Tuples) {
+		t.Fatalf("%d proofs for %d tuples", len(vr.Proofs), len(vr.Result.Tuples))
+	}
+	for i, p := range vr.Proofs {
+		if p.Position != vr.Result.Positions[i] {
+			t.Fatalf("proof %d speaks about %d, want %d", i, p.Position, vr.Result.Positions[i])
+		}
+		if err := authindex.Verify(vr.Root, vr.Leaves, vr.Result.Tuples[i], p); err != nil {
+			t.Fatalf("proof %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestQueryVerifiedUsesCache: the verified path must go through the same
+// result cache as the plain query path.
+func TestQueryVerifiedUsesCache(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put("emp", authTable(2048)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.QueryVerified("emp", authQuery(2)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.CacheStats()
+	if _, err := s.QueryVerified("emp", authQuery(2)); err != nil {
+		t.Fatal(err)
+	}
+	after := s.CacheStats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("second verified query was not a cache hit (hits %d -> %d)", before.Hits, after.Hits)
+	}
+}
+
+// TestPutReplacesTree: replacing a table must retire its tree — the next
+// root must describe the new tuples, not the old tree.
+func TestPutReplacesTree(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put("emp", authTable(8)); err != nil {
+		t.Fatal(err)
+	}
+	r1, _, _, err := s.Root("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl := authTable(8)
+	repl.Tuples[3].Blob[1] ^= 0xFF
+	if err := s.Put("emp", repl); err != nil {
+		t.Fatal(err)
+	}
+	r2, n, _, err := s.Root("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(r1, r2) {
+		t.Fatal("root unchanged after table replacement")
+	}
+	full, _ := s.Get("emp")
+	if want := authindex.Build(full).Root(); !bytes.Equal(r2, want) || n != 8 {
+		t.Fatal("root after replacement does not match the new tuples")
+	}
+}
+
+// TestConcurrentAppendVerifiedQuery is the -race gate for the versioned
+// index: writers append while readers run verified queries; every answer
+// must be internally consistent (proofs verify against the root cut from
+// the same snapshot), whatever interleaving the scheduler picks.
+func TestConcurrentAppendVerifiedQuery(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put("emp", authTable(64)); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 3
+		readers = 4
+		appends = 40
+		queries = 60
+	)
+	errs := make(chan error, writers+readers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tail := authTable(2).Tuples
+			for i := 0; i < appends; i++ {
+				if err := s.Append("emp", tail); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < queries; i++ {
+				vr, err := s.QueryVerified("emp", authQuery(byte(i%3)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j, p := range vr.Proofs {
+					if err := authindex.Verify(vr.Root, vr.Leaves, vr.Result.Tuples[j], p); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The settled tree must equal a rebuild over the final table.
+	root, _, _, err := s.Root("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := s.Get("emp")
+	if want := authindex.Build(full).Root(); !bytes.Equal(root, want) {
+		t.Fatal("settled incremental root differs from rebuild")
+	}
+}
+
+// TestRootSurvivesReplay: a replayed durable store serves the same root
+// as the store that wrote the log.
+func TestRootSurvivesReplay(t *testing.T) {
+	path := t.TempDir() + "/auth.log"
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("emp", authTable(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("emp", authTable(5).Tuples); err != nil {
+		t.Fatal(err)
+	}
+	r1, n1, _, err := s.Root("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	r2, n2, _, err := s2.Root("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, r2) || n1 != n2 {
+		t.Fatalf("replayed root differs: %d/%d tuples", n1, n2)
+	}
+}

@@ -45,6 +45,19 @@
 // against a replaced snapshot. Caching leaks nothing: positions returned
 // per trapdoor are exactly the access pattern every query already reveals
 // to the server by construction.
+//
+// Authenticated index: each table entry owns a version-stamped Merkle
+// tree (internal/authindex) over its tuples, built lazily on the first
+// Root/Prove/QueryVerified and from then on extended incrementally —
+// Append hashes just the new tuples and repairs the tree in O(k + log n)
+// under the table's write lock (only if the tree was ever materialised;
+// unauthenticated workloads pay nothing). Readers catch the tree up
+// under the table's read lock (serialised on a small internal mutex), so
+// the tree served always covers exactly the tuples served, and
+// QueryVerified cuts (result, proofs, root, count, version) from one
+// read-locked snapshot — mutually consistent by construction. Put and
+// Drop retire the tree with the entry they retire; Compact leaves tuples
+// (and therefore trees) untouched.
 package storage
 
 import (
@@ -58,6 +71,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/authindex"
 	"repro/internal/cache"
 	"repro/internal/ph"
 	"repro/internal/wire"
@@ -74,6 +88,19 @@ const (
 type tableEntry struct {
 	mu sync.RWMutex
 	t  *ph.EncryptedTable
+	// tree is the table's authenticated index (Merkle tree over the
+	// tuples), built lazily on the first Root/Prove/QueryVerified and
+	// extended incrementally on Append. treeN is the tuple count the tree
+	// covers; treeMu serialises catch-up between concurrent readers.
+	// Invariant: the tree is only ever a prefix view (treeN <=
+	// len(t.Tuples)) of the entry it lives in, so whoever brings it to
+	// the locked tuple count serves a tree consistent with the tuples
+	// served. Destructive mutations never touch it: Put and Drop install
+	// or unlink whole entries, so a replaced table's tree dies with its
+	// entry.
+	treeMu sync.Mutex
+	tree   *authindex.Tree
+	treeN  int
 	// base is the store-clock version at which this table object was
 	// installed (Put or replayed store record). Cache entries from before
 	// base belong to a replaced snapshot and are unusable.
@@ -89,6 +116,38 @@ type tableEntry struct {
 	// — and logging against — a superseded object, which keeps the log
 	// order of same-table records identical to their in-memory order.
 	stale bool
+}
+
+// authTree returns the entry's authenticated index, built or extended to
+// cover exactly the current tuples. Callers must hold e.mu (read or
+// write). Concurrent readers serialise the catch-up on treeMu; once the
+// tree covers the locked tuple count it is safe to read without treeMu
+// for as long as e.mu is held, because every tree mutation happens either
+// under e.mu's write lock or under treeMu by a reader catching up to this
+// same length (a no-op once reached).
+func (e *tableEntry) authTree() *authindex.Tree {
+	e.treeMu.Lock()
+	defer e.treeMu.Unlock()
+	if e.tree == nil {
+		e.tree = authindex.Build(e.t)
+		e.treeN = len(e.t.Tuples)
+		return e.tree
+	}
+	e.catchUpTree()
+	return e.tree
+}
+
+// catchUpTree extends a materialised tree over any appended tail. Callers
+// hold treeMu and e.mu (read suffices: the tuple slice cannot change).
+func (e *tableEntry) catchUpTree() {
+	if n := len(e.t.Tuples); e.treeN < n {
+		leaves := make([][]byte, 0, n-e.treeN)
+		for _, tp := range e.t.Tuples[e.treeN:] {
+			leaves = append(leaves, authindex.LeafHash(tp))
+		}
+		e.tree.Extend(leaves)
+		e.treeN = n
+	}
 }
 
 // Store is the server-side catalogue of encrypted tables.
@@ -402,6 +461,21 @@ func (s *Store) Put(name string, t *ph.EncryptedTable) error {
 // distinct tables proceed in parallel — under SyncAlways they share the
 // group-commit fsync, which no lock is held across.
 func (s *Store) Append(name string, tuples []ph.EncryptedTuple) error {
+	_, _, err := s.AppendStamped(name, tuples)
+	return err
+}
+
+// AppendStamped is Append returning the write's placement: the tuple
+// index the batch landed at (the table's tuple count before the append)
+// and the table version the append installed. A client maintaining the
+// table's authenticated root incrementally needs exactly this pair: base
+// tells it where its leaves went, version stamps the snapshot.
+//
+// If the entry's authenticated index has been materialised, the append
+// extends it in place (O(k + log n) hashes under the table's write lock)
+// instead of invalidating it; a never-requested index stays unbuilt and
+// costs appends nothing.
+func (s *Store) AppendStamped(name string, tuples []ph.EncryptedTuple) (base int, version uint64, err error) {
 	var payload []byte
 	if s.wal != nil {
 		payload = wire.AppendString(nil, name)
@@ -415,7 +489,7 @@ func (s *Store) Append(name string, tuples []ph.EncryptedTuple) error {
 		e, ok := s.tables[name]
 		s.mu.RUnlock()
 		if !ok {
-			return fmt.Errorf("storage: unknown table %q", name)
+			return 0, 0, fmt.Errorf("storage: unknown table %q", name)
 		}
 		e.mu.Lock()
 		if e.stale {
@@ -426,19 +500,32 @@ func (s *Store) Append(name string, tuples []ph.EncryptedTuple) error {
 		}
 		var seq uint64
 		if s.wal != nil {
-			var err error
 			if seq, err = s.wal.write(opInsert, payload); err != nil {
 				e.mu.Unlock()
-				return err
+				return 0, 0, err
 			}
 		}
+		base = len(e.t.Tuples)
 		e.t.Tuples = append(e.t.Tuples, tuples...)
-		e.version = s.clock.Add(1)
+		version = s.clock.Add(1)
+		e.version = version
+		e.extendTreeLocked()
 		e.mu.Unlock()
 		if s.wal != nil {
-			return s.wal.waitDurable(seq)
+			return base, version, s.wal.waitDurable(seq)
 		}
-		return nil
+		return base, version, nil
+	}
+}
+
+// extendTreeLocked brings a materialised authenticated index up to date
+// with a just-appended tail. Must be called with e.mu write-locked; a nil
+// tree (never requested) is left unbuilt.
+func (e *tableEntry) extendTreeLocked() {
+	e.treeMu.Lock()
+	defer e.treeMu.Unlock()
+	if e.tree != nil {
+		e.catchUpTree()
 	}
 }
 
@@ -481,6 +568,13 @@ func (s *Store) Query(name string, q *ph.EncryptedQuery) (*ph.Result, error) {
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return queryLocked(e, c, name, q)
+}
+
+// queryLocked is Query's body, factored out so QueryVerified can run it
+// under the same single read-lock acquisition that cuts its proofs.
+// Callers hold e.mu (read suffices).
+func queryLocked(e *tableEntry, c *cache.Cache, name string, q *ph.EncryptedQuery) (*ph.Result, error) {
 	if c == nil {
 		return ph.Apply(e.t, q)
 	}
@@ -508,6 +602,75 @@ func (s *Store) Query(name string, q *ph.EncryptedQuery) (*ph.Result, error) {
 		c.Store(name, q, cache.Entry{Positions: res.Positions, Scanned: len(e.t.Tuples), Version: e.version})
 		return res, nil
 	}
+}
+
+// Root returns the named table's authenticated-index root, tuple count
+// and version, all from one read-locked snapshot. The tree is built on
+// first use and extended incrementally afterwards, so this is O(1)
+// hashing on a quiescent table and O(tail) after appends — never the
+// seed's deep-copy-and-rebuild.
+func (s *Store) Root(name string) (root []byte, tuples int, version uint64, err error) {
+	e, _, err := s.entry(name)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.authTree().Root(), len(e.t.Tuples), e.version, nil
+}
+
+// Prove returns inclusion proofs for the given positions plus the root,
+// tuple count and version of the snapshot that produced them, under one
+// read-lock acquisition. Note that the legacy two-round protocol
+// (CmdRoot, then CmdProve) still races mutations *between* the two calls
+// — these proofs verify against the root returned here, not necessarily
+// against one fetched earlier; QueryVerified is the race-free path.
+func (s *Store) Prove(name string, positions []int) (proofs []authindex.Proof, root []byte, tuples int, version uint64, err error) {
+	e, _, err := s.entry(name)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	tree := e.authTree()
+	proofs, err = tree.Prove(positions)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return proofs, tree.Root(), len(e.t.Tuples), e.version, nil
+}
+
+// QueryVerified evaluates the encrypted query and builds inclusion
+// proofs for every matching tuple from the same table snapshot, under a
+// single read-lock acquisition: the result, proofs, root, leaf count and
+// version are mutually consistent by construction, which is what
+// eliminates the Root/Prove TOCTOU of the legacy protocol. The
+// evaluation itself goes through the same result-cache path as Query, so
+// a verified hot-word query costs the cache hit plus O(matches · log n)
+// proof hashes.
+func (s *Store) QueryVerified(name string, q *ph.EncryptedQuery) (*authindex.VerifiedResult, error) {
+	e, c, err := s.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	res, err := queryLocked(e, c, name, q)
+	if err != nil {
+		return nil, err
+	}
+	tree := e.authTree()
+	proofs, err := tree.Prove(res.Positions)
+	if err != nil {
+		return nil, err
+	}
+	return &authindex.VerifiedResult{
+		Result:  res,
+		Root:    tree.Root(),
+		Leaves:  len(e.t.Tuples),
+		Version: e.version,
+		Proofs:  proofs,
+	}, nil
 }
 
 // Drop removes the named table. Like Put, the record is staged while

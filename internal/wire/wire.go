@@ -54,6 +54,16 @@ const (
 	// CmdQueryBatch evaluates several encrypted queries against one
 	// table in a single round trip.
 	CmdQueryBatch byte = 0x09
+	// CmdQueryVerified evaluates an encrypted query and returns the
+	// result together with inclusion proofs, root, leaf count and
+	// version cut from the same table snapshot (extension; the race-free
+	// replacement for the CmdRoot + CmdProve pair).
+	CmdQueryVerified byte = 0x0A
+	// CmdInsertStamped is CmdInsert answered with a RespInserted
+	// placement ack instead of a bare RespOK (extension). It is a
+	// separate command so pre-extension clients sending CmdInsert keep
+	// receiving the RespOK they expect.
+	CmdInsertStamped byte = 0x0B
 
 	// RespOK acknowledges a command with no payload.
 	RespOK byte = 0x81
@@ -71,6 +81,14 @@ const (
 	RespProofs byte = 0x87
 	// RespResults carries several ph.Results (answer to CmdQueryBatch).
 	RespResults byte = 0x88
+	// RespInserted acknowledges CmdInsertStamped with the append's
+	// placement: base tuple index, appended count and the table version
+	// installed — exactly what a client needs to advance an
+	// authenticated root incrementally (extension).
+	RespInserted byte = 0x89
+	// RespResultVerified carries an authindex.VerifiedResult (answer to
+	// CmdQueryVerified; extension).
+	RespResultVerified byte = 0x8A
 )
 
 // Frame is one protocol message.
