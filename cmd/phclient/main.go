@@ -12,9 +12,15 @@
 //
 //	phclient -addr localhost:7632 -config client.json -passphrase 'my secret'
 //
+// With -explain the shell prints the chosen query plan (conjunct order,
+// estimated selectivities, cache state) for each SQL statement instead
+// of executing it; a one-off `\explain SELECT ...` does the same for a
+// single statement.
+//
 // Shell commands:
 //
 //	SELECT ... FROM <table> [WHERE a = v [AND b = w]];   exact selects
+//	\explain SELECT ...   print the server's plan without executing
 //	\use T         switch the current table (catalog mode)
 //	\seed N        generate and upload N demo employee tuples
 //	\load f.csv    encrypt and upload a typed CSV file (header: name:type[:width],...)
@@ -54,6 +60,7 @@ func main() {
 		schemaDDL  = flag.String("schema", "", "schema as col:type:width,... (default: the demo employee schema)")
 		schemeName = flag.String("scheme", core.SchemeID, "scheme: swp-ph | goh-ph | bucket | damiani | detph")
 		configPath = flag.String("config", "", "catalog config JSON (enables multi-table mode)")
+		explain    = flag.Bool("explain", false, "print the server's query plan for SQL statements instead of executing them")
 	)
 	flag.Parse()
 	if *passphrase == "" {
@@ -69,7 +76,7 @@ func main() {
 	}
 	defer conn.Close()
 
-	sh := &shell{conn: conn}
+	sh := &shell{conn: conn, explain: *explain}
 	if *configPath != "" {
 		cfg, err := client.LoadConfig(*configPath)
 		if err != nil {
@@ -137,13 +144,15 @@ func main() {
 
 var errQuit = fmt.Errorf("quit")
 
-// shell holds the REPL state: the connection, the catalog, and the table
-// backslash commands act on.
+// shell holds the REPL state: the connection, the catalog, the table
+// backslash commands act on, and whether SQL statements are explained
+// instead of executed.
 type shell struct {
 	conn        *client.Conn
 	catalog     *client.Catalog
 	current     *client.DB
 	currentName string
+	explain     bool
 }
 
 // execute runs one shell line.
@@ -253,9 +262,25 @@ func (sh *shell) execute(line string) error {
 			return err
 		}
 		return db.Insert(tp)
+	case strings.HasPrefix(line, `\explain `):
+		sql := strings.TrimSpace(strings.TrimPrefix(line, `\explain `))
+		plan, err := sh.catalog.Explain(sql)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
 	case strings.HasPrefix(line, `\`):
 		return fmt.Errorf("unknown command %q", line)
 	default:
+		if sh.explain {
+			plan, err := sh.catalog.Explain(line)
+			if err != nil {
+				return err
+			}
+			fmt.Print(plan)
+			return nil
+		}
 		t, err := sh.catalog.Query(line)
 		if err != nil {
 			return err

@@ -15,11 +15,25 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/relation"
 	"repro/internal/schemes/gohph"
 	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
+
+// pickSalary returns the salary of some HR employee so the example's
+// conjunction has a non-empty intersection.
+func pickSalary(t *relation.Table) int64 {
+	s := t.Schema()
+	dept, salary := s.ColumnIndex("dept"), s.ColumnIndex("salary")
+	for _, tp := range t.Tuples() {
+		if tp[dept].Equal(relation.String("HR")) {
+			return tp[salary].Integer()
+		}
+	}
+	return 7500
+}
 
 func main() {
 	// Eve.
@@ -97,7 +111,9 @@ func main() {
 	}
 
 	// SQL routed by FROM clause: "payroll" by remote name, "patients" by
-	// schema name.
+	// schema name. The multi-predicate statement runs through the
+	// server-side conjunctive planner (one CmdQueryConj; only the
+	// intersection crosses the wire).
 	for _, sql := range []string{
 		"SELECT name, salary FROM payroll WHERE dept = 'HR'",
 		"SELECT name FROM patients WHERE hospital = 2 AND outcome = 'fatal'",
@@ -108,6 +124,36 @@ func main() {
 		}
 		fmt.Printf("%s\n%s(%d tuples)\n\n", sql, res.Sorted(), res.Len())
 	}
+
+	// The pushdown must agree with the legacy client-side intersection
+	// (SelectMany per conjunct + relation.Intersect after decryption) —
+	// the equivalence the E17 gate also enforces.
+	conj := []relation.Eq{
+		{Column: "dept", Value: relation.String("HR")},
+		{Column: "salary", Value: relation.Int(pickSalary(emp))},
+	}
+	pushed, err := payroll.SelectConj(conj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	legacy, err := payroll.SelectConjLegacy(conj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if pushed.Sorted().String() != legacy.Sorted().String() {
+		log.Fatalf("pushdown diverged from client-side intersection:\n%s\nvs\n%s",
+			pushed.Sorted(), legacy.Sorted())
+	}
+	fmt.Printf("pushdown == legacy intersection for %v ∧ %v (%d tuples)\n\n",
+		conj[0], conj[1], pushed.Len())
+
+	// And the server will happily explain what it would do.
+	plan, err := cat.Explain("SELECT * FROM payroll WHERE dept = 'HR' AND salary = 7500")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan)
+	fmt.Println()
 
 	// The server directory shows two differently encrypted tables.
 	infos, err := conn.List()

@@ -405,6 +405,31 @@ func TestE15Shapes(t *testing.T) {
 	}
 }
 
+func TestE17Shapes(t *testing.T) {
+	// RunE17 self-gates hard: it errors unless the pushdown answers are
+	// byte-identical to the legacy intersection AND the plaintext
+	// reference, and unless both the bytes-over-wire and the end-to-end
+	// latency improvements reach 5x. The shape asserted here is just
+	// that both rows exist with positive, sane cells.
+	tab, err := RunE17(10000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := findRow(t, tab, "legacy: SelectMany + client Intersect")
+	push := findRow(t, tab, "pushdown: CmdQueryConj planner")
+	for _, row := range []int{legacy, push} {
+		if ns := cell(t, tab, row, 2); ns <= 0 {
+			t.Errorf("E17 row %d: non-positive ns/op %v", row, ns)
+		}
+		if by := cell(t, tab, row, 3); by <= 0 {
+			t.Errorf("E17 row %d: non-positive bytes/op %v", row, by)
+		}
+	}
+	if cell(t, tab, legacy, 3) <= cell(t, tab, push, 3) {
+		t.Error("E17: legacy path should move more bytes than pushdown")
+	}
+}
+
 func TestTableJSON(t *testing.T) {
 	tab := &Table{ID: "EX", Title: "t", Header: []string{"a"}, Notes: []string{"n"}}
 	tab.AddRow("1")

@@ -57,12 +57,32 @@ func (c *Catalog) Names() []string {
 // tables (by remote name first, then by schema name), and executes it with
 // that table's scheme.
 func (c *Catalog) Query(sql string) (*relation.Table, error) {
+	db, err := c.route(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.Query(sql)
+}
+
+// Explain routes the statement like Query but returns the server's plan
+// for it instead of executing it (see DB.Explain).
+func (c *Catalog) Explain(sql string) (string, error) {
+	db, err := c.route(sql)
+	if err != nil {
+		return "", err
+	}
+	return db.Explain(sql)
+}
+
+// route resolves a statement's FROM clause to an attached DB, by remote
+// name first, then by schema name.
+func (c *Catalog) route(sql string) (*DB, error) {
 	q, err := sqlmini.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	if db, ok := c.tables[q.Table]; ok {
-		return db.Query(sql)
+		return db, nil
 	}
 	// Fall back to schema-name lookup so applications can use logical
 	// relation names that differ from the remote storage name.
@@ -78,5 +98,5 @@ func (c *Catalog) Query(sql string) (*relation.Table, error) {
 	if match == nil {
 		return nil, fmt.Errorf("client: no attached table serves %q (have %v)", q.Table, c.Names())
 	}
-	return match.Query(sql)
+	return match, nil
 }

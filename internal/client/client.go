@@ -3,6 +3,19 @@
 // homomorphism (ph.Scheme) so that applications work entirely in plaintext
 // terms — plaintext tables in, plaintext results out — while nothing but
 // ciphertext ever crosses the connection.
+//
+// Conjunctions (`WHERE a = x AND b = y`) are pushed down to the server:
+// DB.Query encrypts one token per conjunct and sends a single
+// CmdQueryConj, and the server's selectivity-ordered planner
+// (internal/query) intersects the scheme-opaque position sets where the
+// data lives, returning only the tuples in the intersection — with
+// inclusion proofs from the same snapshot when a root is pinned. The old
+// client-side evaluation (SelectMany per conjunct, relation.Intersect
+// after decryption) survives as the documented legacy fallback
+// (SelectConjLegacy) and is used automatically when the server predates
+// CmdQueryConj. Pushdown changes where the intersection happens, not
+// what the server learns: per-conjunct access patterns are on the wire
+// either way.
 package client
 
 import (
@@ -11,10 +24,12 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/authindex"
 	"repro/internal/ph"
+	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/sqlmini"
 	"repro/internal/wire"
@@ -275,6 +290,51 @@ func (c *Conn) QueryVerified(name string, q *ph.EncryptedQuery) (*authindex.Veri
 		return nil, fmt.Errorf("client: unexpected response %#x to verified query", resp.Type)
 	}
 	return authindex.DecodeVerifiedResult(wire.NewBuffer(resp.Payload))
+}
+
+// QueryConj evaluates a conjunction of encrypted queries server-side in
+// one round trip through the selectivity-ordered planner (CmdQueryConj)
+// and returns the intersection — plain, or with snapshot-consistent
+// proofs when verified is set — together with the executed plan summary.
+// Servers predating the command answer with an unknown-command error;
+// IsUnsupported recognises it so callers can fall back to the legacy
+// client-side intersection.
+func (c *Conn) QueryConj(name string, qs []*ph.EncryptedQuery, verified bool) (*query.Response, error) {
+	var flags byte
+	if verified {
+		flags |= wire.ConjFlagVerified
+	}
+	return c.queryConj(name, flags, qs)
+}
+
+// ExplainConj asks the server to plan — but not execute — a conjunctive
+// query: conjunct order, selectivity estimates, cache state.
+func (c *Conn) ExplainConj(name string, qs []*ph.EncryptedQuery) (*query.PlanInfo, error) {
+	resp, err := c.queryConj(name, wire.ConjFlagExplain, qs)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Plan, nil
+}
+
+// queryConj sends one CmdQueryConj with the given flags.
+func (c *Conn) queryConj(name string, flags byte, qs []*ph.EncryptedQuery) (*query.Response, error) {
+	payload := query.EncodeRequest(nil, name, flags, qs)
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdQueryConj, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.RespResultConj {
+		return nil, fmt.Errorf("client: unexpected response %#x to conjunctive query", resp.Type)
+	}
+	return query.DecodeResponse(wire.NewBuffer(resp.Payload))
+}
+
+// IsUnsupported reports whether a server error says the command does not
+// exist there — the signal to fall back to a legacy protocol path when
+// talking to a server predating an extension.
+func IsUnsupported(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "unknown command")
 }
 
 // Prove fetches inclusion proofs for result positions (extension). Same
@@ -656,19 +716,8 @@ func (db *DB) VerifiedQuery(q relation.Eq) (*relation.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if !bytes.Equal(vr.Root, db.root) || vr.Leaves != db.rootTuples {
-		return nil, fmt.Errorf("client: verification failed: server root does not match the pinned root (server %d tuples, pinned %d) — tampering or unacknowledged external writes", vr.Leaves, db.rootTuples)
-	}
-	if len(vr.Proofs) != len(vr.Result.Tuples) || len(vr.Result.Tuples) != len(vr.Result.Positions) {
-		return nil, fmt.Errorf("client: verification failed: %d proofs for %d tuples at %d positions", len(vr.Proofs), len(vr.Result.Tuples), len(vr.Result.Positions))
-	}
-	for i, p := range vr.Proofs {
-		if p.Position != vr.Result.Positions[i] {
-			return nil, fmt.Errorf("client: verification failed: proof %d speaks about position %d, want %d", i, p.Position, vr.Result.Positions[i])
-		}
-		if err := authindex.Verify(db.root, db.rootTuples, vr.Result.Tuples[i], p); err != nil {
-			return nil, fmt.Errorf("client: result tuple %d failed verification: %w", i, err)
-		}
+	if err := db.checkVerified(vr); err != nil {
+		return nil, err
 	}
 	db.rootVersion = vr.Version
 	return db.scheme.DecryptResult(q, vr.Result)
@@ -727,6 +776,11 @@ func (db *DB) verifyResult(res *ph.Result) error {
 		return fmt.Errorf("client: %d proofs for %d result tuples", len(proofs), len(res.Tuples))
 	}
 	for i, p := range proofs {
+		// Same strictly-ascending discipline as checkVerified: a repeated
+		// position with a valid proof must not inflate the result.
+		if i > 0 && res.Positions[i] <= res.Positions[i-1] {
+			return fmt.Errorf("client: verification failed: result positions not strictly ascending (%d after %d) — duplicated or reordered tuples", res.Positions[i], res.Positions[i-1])
+		}
 		if p.Position != res.Positions[i] {
 			return fmt.Errorf("client: proof %d speaks about position %d, want %d", i, p.Position, res.Positions[i])
 		}
@@ -746,51 +800,228 @@ func (db *DB) SelectAll() (*relation.Table, error) {
 	return db.scheme.DecryptTable(ct)
 }
 
-// Query executes a mini-SQL statement: single equalities run as one
-// homomorphic select; conjunctions intersect per-equality results
-// client-side; an absent WHERE clause falls back to a full download;
-// projections apply after decryption.
+// Query executes a mini-SQL statement. A single equality runs as one
+// homomorphic select through Select — which, with a pinned root, is the
+// one-round verified protocol, so Query never silently downgrades a
+// verified client to the unverified path. A conjunction is pushed down
+// as one CmdQueryConj: the server's planner intersects the per-conjunct
+// position sets and returns only the matching tuples (verified against
+// the pinned root when one is set; see SelectConj for what conjunctive
+// verification does and does not promise). Servers predating the
+// pushdown are detected by their unknown-command error and served via
+// the legacy SelectConjLegacy intersection. An absent WHERE clause falls
+// back to a full download; projections apply after decryption.
 func (db *DB) Query(sql string) (*relation.Table, error) {
 	q, err := sqlmini.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	if q.Table != db.scheme.Schema().Name && q.Table != db.table {
-		return nil, fmt.Errorf("client: query addresses table %q, this client serves %q (schema %q)",
-			q.Table, db.table, db.scheme.Schema().Name)
+	eqs, err := db.bindWhere(q)
+	if err != nil {
+		return nil, err
 	}
 	var out *relation.Table
-	switch len(q.Where) {
+	switch len(eqs) {
 	case 0:
 		out, err = db.SelectAll()
-		if err != nil {
-			return nil, err
-		}
+	case 1:
+		out, err = db.Select(eqs[0])
 	default:
-		// All conjuncts travel in one batched round trip; the
-		// intersection happens client-side.
-		eqs := make([]relation.Eq, len(q.Where))
-		for i, cond := range q.Where {
-			eq, err := cond.Bind(db.scheme.Schema())
-			if err != nil {
-				return nil, err
-			}
-			eqs[i] = eq
+		out, err = db.SelectConj(eqs)
+		if IsUnsupported(err) {
+			out, err = db.SelectConjLegacy(eqs)
 		}
-		parts, err := db.SelectMany(eqs)
-		if err != nil {
-			return nil, err
-		}
-		out = parts[0]
-		for _, part := range parts[1:] {
-			out, err = relation.Intersect(out, part)
-			if err != nil {
-				return nil, err
-			}
-		}
+	}
+	if err != nil {
+		return nil, err
 	}
 	if q.Projection != nil {
 		return relation.Project(out, q.Projection...)
 	}
 	return out, nil
+}
+
+// bindWhere checks the statement addresses this DB's table and binds its
+// WHERE conjuncts against the schema.
+func (db *DB) bindWhere(q *sqlmini.Query) ([]relation.Eq, error) {
+	if q.Table != db.scheme.Schema().Name && q.Table != db.table {
+		return nil, fmt.Errorf("client: query addresses table %q, this client serves %q (schema %q)",
+			q.Table, db.table, db.scheme.Schema().Name)
+	}
+	eqs := make([]relation.Eq, len(q.Where))
+	for i, cond := range q.Where {
+		eq, err := cond.Bind(db.scheme.Schema())
+		if err != nil {
+			return nil, err
+		}
+		eqs[i] = eq
+	}
+	return eqs, nil
+}
+
+// encryptConj encrypts one token per conjunct.
+func (db *DB) encryptConj(eqs []relation.Eq) ([]*ph.EncryptedQuery, error) {
+	qs := make([]*ph.EncryptedQuery, len(eqs))
+	for i, eq := range eqs {
+		q, err := db.scheme.EncryptQuery(eq)
+		if err != nil {
+			return nil, err
+		}
+		qs[i] = q
+	}
+	return qs, nil
+}
+
+// SelectConj runs a conjunctive exact select through the server-side
+// planner: one round trip, and only the tuples in the intersection come
+// back. With a pinned root the request is verified — every returned
+// tuple travels with an inclusion proof cut from the same snapshot as
+// the result, checked against the pinned root before decryption exactly
+// like VerifiedQuery. As everywhere in the authenticated extension, the
+// proofs authenticate *inclusion* of what was returned, not completeness
+// of the intersection: a malicious server may still withhold matches
+// (for conjunctions as for single selects; see authindex's scope note).
+// Decryption filters checksum false positives by re-evaluating the full
+// conjunction on the plaintext, so pushdown answers are exactly the
+// legacy path's answers.
+func (db *DB) SelectConj(eqs []relation.Eq) (*relation.Table, error) {
+	if len(eqs) == 0 {
+		return nil, fmt.Errorf("client: empty conjunction")
+	}
+	qs, err := db.encryptConj(eqs)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := db.conn.QueryConj(db.table, qs, db.root != nil)
+	if err != nil {
+		return nil, err
+	}
+	res := resp.Result
+	if db.root != nil {
+		vr := resp.Verified
+		if vr == nil {
+			return nil, fmt.Errorf("client: server answered a verified conjunctive query without proofs")
+		}
+		if err := db.checkVerified(vr); err != nil {
+			return nil, err
+		}
+		db.rootVersion = vr.Version
+		res = vr.Result
+	}
+	if res == nil {
+		return nil, fmt.Errorf("client: conjunctive query answered without a result")
+	}
+	return db.decryptConj(eqs, res)
+}
+
+// decryptConj decrypts an intersection result and filters false
+// positives against every conjunct: DecryptResult re-evaluates the
+// first, relation.Select the rest.
+func (db *DB) decryptConj(eqs []relation.Eq, res *ph.Result) (*relation.Table, error) {
+	out, err := db.scheme.DecryptResult(eqs[0], res)
+	if err != nil {
+		return nil, err
+	}
+	if len(eqs) == 1 {
+		return out, nil
+	}
+	rest := make([]relation.Pred, len(eqs)-1)
+	for i, eq := range eqs[1:] {
+		rest[i] = eq
+	}
+	return relation.Select(out, relation.And{Preds: rest})
+}
+
+// SelectConjLegacy evaluates a conjunction the pre-pushdown way: one
+// batched round trip fetching every conjunct's full match set, then
+// decryption and relation.Intersect client-side. It remains only as the
+// compatibility fallback for servers without CmdQueryConj (and as the
+// before-side of experiment E17); it transfers and decrypts work
+// proportional to the *least* selective conjunct, and with a pinned root
+// it verifies through the legacy two-round Prove path with the caveat
+// documented on verifyResult.
+func (db *DB) SelectConjLegacy(eqs []relation.Eq) (*relation.Table, error) {
+	if len(eqs) == 0 {
+		return nil, fmt.Errorf("client: empty conjunction")
+	}
+	parts, err := db.SelectMany(eqs)
+	if err != nil {
+		return nil, err
+	}
+	out := parts[0]
+	for _, part := range parts[1:] {
+		out, err = relation.Intersect(out, part)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// checkVerified verifies a one-round verified answer against the pinned
+// root: root and leaf count must match the pin, and every returned tuple
+// must carry a proof for its position that hashes back to the root.
+func (db *DB) checkVerified(vr *authindex.VerifiedResult) error {
+	if !bytes.Equal(vr.Root, db.root) || vr.Leaves != db.rootTuples {
+		return fmt.Errorf("client: verification failed: server root does not match the pinned root (server %d tuples, pinned %d) — tampering or unacknowledged external writes", vr.Leaves, db.rootTuples)
+	}
+	if len(vr.Proofs) != len(vr.Result.Tuples) || len(vr.Result.Tuples) != len(vr.Result.Positions) {
+		return fmt.Errorf("client: verification failed: %d proofs for %d tuples at %d positions", len(vr.Proofs), len(vr.Result.Tuples), len(vr.Result.Positions))
+	}
+	for i, p := range vr.Proofs {
+		// Positions must be strictly ascending: inclusion proofs say a
+		// tuple IS at a position, not how often the server may list it —
+		// without this check a malicious server could repeat one tuple
+		// (with its valid proof) to inflate the result multiset.
+		if i > 0 && vr.Result.Positions[i] <= vr.Result.Positions[i-1] {
+			return fmt.Errorf("client: verification failed: result positions not strictly ascending (%d after %d) — duplicated or reordered tuples", vr.Result.Positions[i], vr.Result.Positions[i-1])
+		}
+		if p.Position != vr.Result.Positions[i] {
+			return fmt.Errorf("client: verification failed: proof %d speaks about position %d, want %d", i, p.Position, vr.Result.Positions[i])
+		}
+		if err := authindex.Verify(db.root, db.rootTuples, vr.Result.Tuples[i], p); err != nil {
+			return fmt.Errorf("client: result tuple %d failed verification: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Explain returns the server's plan for a statement without executing
+// it: conjunct evaluation order, estimated selectivities (from the
+// server's per-table sketch and result cache) and each conjunct's
+// predicted serving path, rendered against the statement's plaintext
+// conditions. Single-equality and full-download statements are described
+// locally — there is nothing to plan.
+func (db *DB) Explain(sql string) (string, error) {
+	q, err := sqlmini.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	eqs, err := db.bindWhere(q)
+	if err != nil {
+		return "", err
+	}
+	switch len(eqs) {
+	case 0:
+		return fmt.Sprintf("plan for %s: full table download (no WHERE clause)\n", db.table), nil
+	case 1:
+		path := "single select (CmdQuery)"
+		if db.root != nil {
+			path = "one-round verified select (CmdQueryVerified)"
+		}
+		return fmt.Sprintf("plan for %s: %s on %s\n", db.table, path, eqs[0]), nil
+	}
+	qs, err := db.encryptConj(eqs)
+	if err != nil {
+		return "", err
+	}
+	info, err := db.conn.ExplainConj(db.table, qs)
+	if err != nil {
+		return "", err
+	}
+	labels := make([]string, len(eqs))
+	for i, eq := range eqs {
+		labels[i] = eq.String()
+	}
+	return info.Render(db.table, labels), nil
 }

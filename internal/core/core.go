@@ -293,48 +293,53 @@ func Evaluate(et *ph.EncryptedTable, q *ph.EncryptedQuery) (*ph.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := len(et.Tuples)
+	positions := shardScan(len(et.Tuples), swp.NewMatcher(params, td),
+		func(lo, hi int, m *swp.Matcher) []int {
+			return scanTuples(et.Tuples[lo:hi], lo, m, make([]int, 0, positionsCap(hi-lo)))
+		})
+	return ph.SelectPositions(et, positions), nil
+}
+
+// shardScan runs scan over contiguous chunks of [0, n) and merges the
+// per-chunk hit lists in chunk order, so the output is byte-identical
+// to scan(0, n, base). Small inputs (or a single-CPU process) stay
+// single-threaded; larger ones shard across a worker pool drawn from
+// the process-wide scheduler budget. The calling goroutine is always
+// the first worker — a query on a saturated server degrades to a
+// single-threaded scan instead of blocking — scanning chunk 0 with the
+// base Matcher; each extra worker gets its own allocation-free clone.
+func shardScan(n int, base *swp.Matcher, scan func(lo, hi int, m *swp.Matcher) []int) []int {
 	if n < parallelThreshold || runtime.GOMAXPROCS(0) < 2 {
-		m := swp.NewMatcher(params, td)
-		positions := scanTuples(et.Tuples, 0, m, make([]int, 0, positionsCap(n)))
-		return ph.SelectPositions(et, positions), nil
+		return scan(0, n, base)
 	}
 	budget := sched.Process()
 	workers := budget.Acquire(runtime.GOMAXPROCS(0))
 	defer budget.Release(workers)
-	base := swp.NewMatcher(params, td)
 	if workers < 2 {
-		positions := scanTuples(et.Tuples, 0, base, make([]int, 0, positionsCap(n)))
-		return ph.SelectPositions(et, positions), nil
+		return scan(0, n, base)
 	}
 	chunk := (n + workers - 1) / workers
 	results := make([][]int, workers)
 	var wg sync.WaitGroup
 	for w := 1; w < workers && w*chunk < n; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
+		lo, hi := w*chunk, min((w+1)*chunk, n)
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			results[w] = scanTuples(et.Tuples[lo:hi], lo, base.Clone(),
-				make([]int, 0, positionsCap(hi-lo)))
+			results[w] = scan(lo, hi, base.Clone())
 		}(w, lo, hi)
 	}
-	// The caller scans the first chunk itself: it is the budget's
-	// guaranteed worker and needs no extra goroutine or Matcher clone.
-	results[0] = scanTuples(et.Tuples[:chunk], 0, base, make([]int, 0, positionsCap(chunk)))
+	results[0] = scan(0, chunk, base)
 	wg.Wait()
 	total := 0
 	for _, r := range results {
 		total += len(r)
 	}
-	positions := make([]int, 0, total)
+	hits := make([]int, 0, total)
 	for _, r := range results {
-		positions = append(positions, r...)
+		hits = append(hits, r...)
 	}
-	return ph.SelectPositions(et, positions), nil
+	return hits
 }
 
 // EvaluateSerial is the single-threaded reference implementation of
@@ -348,6 +353,58 @@ func EvaluateSerial(et *ph.EncryptedTable, q *ph.EncryptedQuery) (*ph.Result, er
 	m := swp.NewMatcher(params, td)
 	positions := scanTuples(et.Tuples, 0, m, make([]int, 0, positionsCap(len(et.Tuples))))
 	return ph.SelectPositions(et, positions), nil
+}
+
+// EvaluateOn is the candidate-restricted ψ behind the conjunctive
+// planner: it tests only the tuples at the given ascending candidate
+// positions and returns the ascending subsequence that matched. Cost is
+// O(len(candidates)) match tests instead of a full table scan, which is
+// what turns a k-conjunct query from k full scans into one full scan
+// plus narrowing passes over the survivors. Nil candidates select the
+// whole table (the Narrower contract): a positions-only scan with no
+// candidate list materialised or validated — Evaluate's scan without
+// the tuple cloning its Result carries. Large inputs shard across the
+// same scheduler-budget worker pool as Evaluate, one allocation-free
+// Matcher clone per worker, and chunk results merge in order, so the
+// output is deterministic.
+func EvaluateOn(et *ph.EncryptedTable, q *ph.EncryptedQuery, candidates []int) ([]int, error) {
+	td, params, err := decodeQueryToken(et.Meta, q.Token)
+	if err != nil {
+		return nil, err
+	}
+	n := len(et.Tuples)
+	if candidates == nil {
+		return shardScan(n, swp.NewMatcher(params, td),
+			func(lo, hi int, m *swp.Matcher) []int {
+				return scanTuples(et.Tuples[lo:hi], lo, m, make([]int, 0, positionsCap(hi-lo)))
+			}), nil
+	}
+	for i, p := range candidates {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("core: candidate position %d out of range [0, %d)", p, n)
+		}
+		if i > 0 && candidates[i-1] >= p {
+			return nil, fmt.Errorf("core: candidate positions not strictly ascending at index %d", i)
+		}
+	}
+	return shardScan(len(candidates), swp.NewMatcher(params, td),
+		func(lo, hi int, m *swp.Matcher) []int {
+			return scanCandidates(et.Tuples, candidates[lo:hi], m, make([]int, 0, (hi-lo)/2+4))
+		}), nil
+}
+
+// scanCandidates appends every candidate position whose tuple matches,
+// reusing one Matcher across the pass.
+func scanCandidates(tuples []ph.EncryptedTuple, candidates []int, m *swp.Matcher, hits []int) []int {
+	for _, p := range candidates {
+		for _, cw := range tuples[p].Words {
+			if m.Match(cw) {
+				hits = append(hits, p)
+				break
+			}
+		}
+	}
+	return hits
 }
 
 // scanTuples appends base+i for every tuple in tuples whose document
@@ -375,6 +432,7 @@ func positionsCap(n int) int {
 
 func init() {
 	ph.RegisterEvaluator(SchemeID, Evaluate)
+	ph.RegisterNarrower(SchemeID, EvaluateOn)
 }
 
 // metaVersion tags the table-metadata encoding.

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// evalOnFixture encrypts an employee table and returns the ciphertext
+// plus an encrypted query for the given department.
+func evalOnFixture(t *testing.T, n int, dept string) (*ph.EncryptedTable, *ph.EncryptedQuery) {
+	t.Helper()
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := workload.Employees(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := New(key, table.Schema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := scheme.EncryptTable(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := scheme.EncryptQuery(relation.Eq{Column: "dept", Value: relation.String(dept)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return et, q
+}
+
+// TestEvaluateOnMatchesEvaluate checks the narrowing invariant on tables
+// both below and above the parallel threshold: for any candidate set,
+// EvaluateOn(candidates) == Evaluate() ∩ candidates.
+func TestEvaluateOnMatchesEvaluate(t *testing.T) {
+	for _, n := range []int{64, 3000} {
+		et, q := evalOnFixture(t, n, "HR")
+		full, err := Evaluate(et, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		candidateSets := [][]int{
+			nil,                                   // whole table (Narrower contract)
+			[]int{},                               // no candidates at all
+			ascendingRange(0, len(et.Tuples)),     // everything, explicitly
+			ascendingRange(0, len(et.Tuples)/2),   // first half
+			everyKth(len(et.Tuples), 3),           // strided
+			append([]int(nil), full.Positions...), // exactly the matches
+			ascendingRange(len(et.Tuples)-1, len(et.Tuples)),
+		}
+		for ci, cands := range candidateSets {
+			got, err := EvaluateOn(et, q, cands)
+			if err != nil {
+				t.Fatalf("n=%d case %d: %v", n, ci, err)
+			}
+			// Nil selects the whole table; anything else intersects.
+			want := full.Positions
+			if cands != nil {
+				want = ph.IntersectPositions(cands, full.Positions)
+			}
+			if !reflect.DeepEqual(normalize(got), normalize(want)) {
+				t.Fatalf("n=%d case %d: EvaluateOn = %v, want %v", n, ci, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluateOnViaRegistry checks ph.ApplyOn dispatches to the
+// registered narrower for the paper's scheme.
+func TestEvaluateOnViaRegistry(t *testing.T) {
+	et, q := evalOnFixture(t, 200, "IT")
+	full, err := Evaluate(et, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := ascendingRange(0, len(et.Tuples))
+	got, err := ph.ApplyOn(et, q, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(got), normalize(full.Positions)) {
+		t.Fatalf("ApplyOn via registry = %v, want %v", got, full.Positions)
+	}
+}
+
+func TestEvaluateOnRejectsBadCandidates(t *testing.T) {
+	et, q := evalOnFixture(t, 32, "HR")
+	for _, cands := range [][]int{{-1}, {32}, {5, 5}, {7, 3}} {
+		if _, err := EvaluateOn(et, q, cands); err == nil {
+			t.Fatalf("candidates %v must be rejected", cands)
+		}
+	}
+}
+
+func ascendingRange(lo, hi int) []int {
+	if hi <= lo {
+		return nil
+	}
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+func everyKth(n, k int) []int {
+	var out []int
+	for i := 0; i < n; i += k {
+		out = append(out, i)
+	}
+	return out
+}
+
+func normalize(xs []int) []int {
+	if len(xs) == 0 {
+		return []int{}
+	}
+	return xs
+}

@@ -1,0 +1,69 @@
+package ph
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fakeEval matches a tuple when any word equals the token. Registered
+// without a narrower, so ApplyOn must take the full-scan fallback.
+func fakeEval(et *EncryptedTable, q *EncryptedQuery) (*Result, error) {
+	var pos []int
+	for i, tp := range et.Tuples {
+		for _, w := range tp.Words {
+			if bytes.Equal(w, q.Token) {
+				pos = append(pos, i)
+				break
+			}
+		}
+	}
+	return SelectPositions(et, pos), nil
+}
+
+func init() {
+	RegisterEvaluator("fallback-test", fakeEval)
+}
+
+func fakeTable(words ...string) *EncryptedTable {
+	et := &EncryptedTable{SchemeID: "fallback-test"}
+	for i, w := range words {
+		et.Tuples = append(et.Tuples, EncryptedTuple{ID: []byte{byte(i)}, Words: [][]byte{[]byte(w)}})
+	}
+	return et
+}
+
+func TestApplyOnFallback(t *testing.T) {
+	et := fakeTable("a", "b", "a", "c", "a")
+	q := &EncryptedQuery{SchemeID: "fallback-test", Token: []byte("a")}
+	got, err := ApplyOn(et, q, []int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{2, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("ApplyOn fallback: got %v, want %v", got, want)
+	}
+}
+
+func TestApplyOnSchemeMismatch(t *testing.T) {
+	et := fakeTable("a")
+	q := &EncryptedQuery{SchemeID: "other", Token: []byte("a")}
+	if _, err := ApplyOn(et, q, []int{0}); err == nil {
+		t.Fatal("scheme mismatch must error")
+	}
+}
+
+func TestIntersectPositions(t *testing.T) {
+	cases := []struct{ a, b, want []int }{
+		{[]int{1, 3, 5}, []int{2, 3, 5, 7}, []int{3, 5}},
+		{nil, []int{1}, []int{}},
+		{[]int{1}, nil, []int{}},
+		{[]int{1, 2, 3}, []int{1, 2, 3}, []int{1, 2, 3}},
+		{[]int{1, 2}, []int{3, 4}, []int{}},
+	}
+	for _, c := range cases {
+		if got := IntersectPositions(c.a, c.b); !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("IntersectPositions(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

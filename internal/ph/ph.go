@@ -133,9 +133,21 @@ type Scheme interface {
 // maps an encrypted table and an encrypted query to the matching tuples.
 type Evaluator func(et *EncryptedTable, q *EncryptedQuery) (*Result, error)
 
+// Narrower is the restricted form of ψ the conjunctive planner uses: it
+// evaluates the query only at the candidate positions (ascending indices
+// into et.Tuples) and returns the ascending subsequence that matched.
+// A nil candidates slice means the WHOLE table — a positions-only full
+// scan with no candidate list materialised (an empty, non-nil slice
+// still means no candidates). Like Evaluator it needs no keys. Schemes
+// register one when they can test a single tuple cheaper than scanning
+// the table; schemes without one still work through ApplyOn's full-scan
+// fallback.
+type Narrower func(et *EncryptedTable, q *EncryptedQuery, candidates []int) ([]int, error)
+
 var (
 	evalMu     sync.RWMutex
 	evaluators = make(map[string]Evaluator)
+	narrowers  = make(map[string]Narrower)
 )
 
 // RegisterEvaluator installs the evaluator for a scheme ID. It is intended
@@ -163,6 +175,68 @@ func Evaluators() []string {
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// RegisterNarrower installs the candidate-restricted evaluator for a
+// scheme ID. Like RegisterEvaluator it is called from scheme package init
+// functions and panics on duplicate registration.
+func RegisterNarrower(id string, nr Narrower) {
+	evalMu.Lock()
+	defer evalMu.Unlock()
+	if nr == nil {
+		panic("ph: RegisterNarrower with nil narrower")
+	}
+	if _, dup := narrowers[id]; dup {
+		panic("ph: RegisterNarrower called twice for scheme " + id)
+	}
+	narrowers[id] = nr
+}
+
+// ApplyOn narrows candidates by q: it returns the ascending subsequence
+// of candidates whose tuples match. Nil candidates request a
+// positions-only full scan of the whole table (see Narrower). Schemes
+// with a registered Narrower pay O(len(candidates)) match tests; for
+// the rest ApplyOn falls back to a full Apply and intersects the
+// positions, so every scheme that can serve single selects can serve
+// pushed-down conjunctions.
+func ApplyOn(et *EncryptedTable, q *EncryptedQuery, candidates []int) ([]int, error) {
+	if et.SchemeID != q.SchemeID {
+		return nil, fmt.Errorf("ph: query for scheme %q applied to table of scheme %q", q.SchemeID, et.SchemeID)
+	}
+	evalMu.RLock()
+	nr := narrowers[et.SchemeID]
+	evalMu.RUnlock()
+	if nr != nil {
+		return nr(et, q, candidates)
+	}
+	res, err := Apply(et, q)
+	if err != nil {
+		return nil, err
+	}
+	if candidates == nil {
+		return res.Positions, nil
+	}
+	return IntersectPositions(candidates, res.Positions), nil
+}
+
+// IntersectPositions returns the intersection of two ascending position
+// lists, ascending. It is the planner's merge primitive.
+func IntersectPositions(a, b []int) []int {
+	out := make([]int, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
 }
 
 // Apply evaluates ψ: it dispatches to the registered evaluator for the

@@ -1,0 +1,213 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/authindex"
+	"repro/internal/ph"
+	"repro/internal/wire"
+)
+
+// StepInfo is one plan step as it travels in a RespResultConj: which
+// request conjunct ran, how it was served, and what it cost.
+type StepInfo struct {
+	// Index is the conjunct's position in the request.
+	Index int
+	// Source is how the conjunct was served (predicted, in explain mode).
+	Source Source
+	// Est is the planner's selectivity estimate.
+	Est float64
+	// EstKnown reports whether Est came from observations of this token.
+	EstKnown bool
+	// Tested counts positions actually tested (0 in explain mode).
+	Tested int
+	// Hits is the survivor count after this step (0 in explain mode).
+	Hits int
+}
+
+// PlanInfo is the wire-facing plan summary.
+type PlanInfo struct {
+	// Tuples is the table snapshot's tuple count.
+	Tuples int
+	// Steps are the conjuncts in execution order.
+	Steps []StepInfo
+}
+
+// Response is the payload of RespResultConj.
+type Response struct {
+	// Plan summarises the executed (or, in explain mode, planned)
+	// conjunct order.
+	Plan *PlanInfo
+	// Result holds the intersection for a plain execution; nil in
+	// explain mode and in verified responses.
+	Result *ph.Result
+	// Verified holds the intersection with proofs, root, leaf count and
+	// version for a verified execution; nil otherwise.
+	Verified *authindex.VerifiedResult
+}
+
+// respFlag bits in the encoded response.
+const (
+	respFlagVerified byte = 1 << 0
+	respFlagExplain  byte = 1 << 1
+)
+
+// maxPlanSteps caps the decoded plan length; a conjunction is a handful
+// of predicates, never thousands, and a hostile count must not force a
+// large allocation.
+const maxPlanSteps = 1 << 16
+
+// EncodeResponse serialises a Response for the wire.
+func EncodeResponse(dst []byte, resp *Response) []byte {
+	var flags byte
+	switch {
+	case resp.Verified != nil:
+		flags |= respFlagVerified
+	case resp.Result == nil:
+		flags |= respFlagExplain
+	}
+	dst = wire.AppendU8(dst, flags)
+	dst = wire.AppendU32(dst, uint32(resp.Plan.Tuples))
+	dst = wire.AppendU32(dst, uint32(len(resp.Plan.Steps)))
+	for _, st := range resp.Plan.Steps {
+		dst = wire.AppendU32(dst, uint32(st.Index))
+		dst = wire.AppendU8(dst, byte(st.Source))
+		dst = wire.AppendU64(dst, math.Float64bits(st.Est))
+		known := byte(0)
+		if st.EstKnown {
+			known = 1
+		}
+		dst = wire.AppendU8(dst, known)
+		dst = wire.AppendU32(dst, uint32(st.Tested))
+		dst = wire.AppendU32(dst, uint32(st.Hits))
+	}
+	switch {
+	case resp.Verified != nil:
+		dst = authindex.EncodeVerifiedResult(dst, resp.Verified)
+	case resp.Result != nil:
+		dst = wire.EncodeResult(dst, resp.Result)
+	}
+	return dst
+}
+
+// DecodeResponse parses a Response from a wire buffer. Counts are
+// clamped and validated like every other decoder in the protocol; a
+// hostile frame can make decoding fail, never allocate unboundedly.
+func DecodeResponse(r *wire.Buffer) (*Response, error) {
+	flags, err := r.U8()
+	if err != nil {
+		return nil, fmt.Errorf("query: response flags: %w", err)
+	}
+	tuples, err := r.U32()
+	if err != nil {
+		return nil, fmt.Errorf("query: response tuple count: %w", err)
+	}
+	n, err := r.U32()
+	if err != nil {
+		return nil, fmt.Errorf("query: plan step count: %w", err)
+	}
+	if n > maxPlanSteps {
+		return nil, fmt.Errorf("query: plan of %d steps exceeds the %d cap", n, maxPlanSteps)
+	}
+	// Each step encodes to 22 bytes; the declared count cannot exceed
+	// what the remaining payload could hold.
+	if int64(n)*22 > int64(r.Remaining()) {
+		return nil, fmt.Errorf("query: plan step count %d exceeds remaining payload", n)
+	}
+	info := &PlanInfo{Tuples: int(tuples), Steps: make([]StepInfo, n)}
+	for i := range info.Steps {
+		idx, err := r.U32()
+		if err != nil {
+			return nil, fmt.Errorf("query: plan step %d index: %w", i, err)
+		}
+		src, err := r.U8()
+		if err != nil {
+			return nil, fmt.Errorf("query: plan step %d source: %w", i, err)
+		}
+		if Source(src) > SourceSkipped {
+			return nil, fmt.Errorf("query: plan step %d has unknown source %d", i, src)
+		}
+		estBits, err := r.U64()
+		if err != nil {
+			return nil, fmt.Errorf("query: plan step %d estimate: %w", i, err)
+		}
+		est := math.Float64frombits(estBits)
+		if math.IsNaN(est) || est < 0 || est > 1 {
+			return nil, fmt.Errorf("query: plan step %d estimate %v outside [0, 1]", i, est)
+		}
+		known, err := r.U8()
+		if err != nil {
+			return nil, fmt.Errorf("query: plan step %d est flag: %w", i, err)
+		}
+		tested, err := r.U32()
+		if err != nil {
+			return nil, fmt.Errorf("query: plan step %d tested: %w", i, err)
+		}
+		hits, err := r.U32()
+		if err != nil {
+			return nil, fmt.Errorf("query: plan step %d hits: %w", i, err)
+		}
+		info.Steps[i] = StepInfo{
+			Index:    int(idx),
+			Source:   Source(src),
+			Est:      est,
+			EstKnown: known != 0,
+			Tested:   int(tested),
+			Hits:     int(hits),
+		}
+	}
+	resp := &Response{Plan: info}
+	switch {
+	case flags&respFlagVerified != 0:
+		if resp.Verified, err = authindex.DecodeVerifiedResult(r); err != nil {
+			return nil, err
+		}
+	case flags&respFlagExplain != 0:
+		// plan only
+	default:
+		if resp.Result, err = wire.DecodeResult(r); err != nil {
+			return nil, err
+		}
+	}
+	return resp, nil
+}
+
+// Render formats the plan for humans (phclient's -explain). labels, when
+// non-nil, carries the plaintext predicate per *request index* — only
+// the client holds plaintext, so the server-side summary is rendered
+// against the client's own conditions.
+func (p *PlanInfo) Render(table string, labels []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan for %s (%d tuples):\n", table, p.Tuples)
+	for i, st := range p.Steps {
+		label := fmt.Sprintf("conjunct #%d", st.Index)
+		if st.Index >= 0 && st.Index < len(labels) {
+			label = labels[st.Index]
+		}
+		origin := "prior"
+		if st.EstKnown {
+			origin = "observed"
+		}
+		fmt.Fprintf(&b, "  %d. %-28s est %.4f (%s, ~%d rows)  via %s",
+			i+1, label, st.Est, origin, int(st.Est*float64(p.Tuples)+0.5), st.Source)
+		if st.Tested > 0 || st.Hits > 0 {
+			fmt.Fprintf(&b, "  [tested %d, survivors %d]", st.Tested, st.Hits)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// EncodeRequest serialises a CmdQueryConj payload: table name, flags
+// (wire.ConjFlag*), query count, queries.
+func EncodeRequest(dst []byte, name string, flags byte, qs []*ph.EncryptedQuery) []byte {
+	dst = wire.AppendString(dst, name)
+	dst = wire.AppendU8(dst, flags)
+	dst = wire.AppendU32(dst, uint32(len(qs)))
+	for _, q := range qs {
+		dst = wire.EncodeQuery(dst, q)
+	}
+	return dst
+}

@@ -1,0 +1,135 @@
+package query
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/authindex"
+	"repro/internal/ph"
+	"repro/internal/wire"
+)
+
+func sampleInfo() *PlanInfo {
+	return &PlanInfo{
+		Tuples: 10000,
+		Steps: []StepInfo{
+			{Index: 1, Source: SourceScan, Est: 0.005, EstKnown: true, Tested: 10000, Hits: 48},
+			{Index: 0, Source: SourceNarrow, Est: 0.5, Tested: 48, Hits: 23},
+		},
+	}
+}
+
+func sampleResult() *ph.Result {
+	return &ph.Result{
+		Positions: []int{3, 9},
+		Tuples: []ph.EncryptedTuple{
+			{ID: []byte{3}, Words: [][]byte{[]byte("w3")}},
+			{ID: []byte{9}, Words: [][]byte{[]byte("w9")}},
+		},
+	}
+}
+
+func TestResponseCodecRoundTrip(t *testing.T) {
+	cases := []*Response{
+		{Plan: sampleInfo(), Result: sampleResult()},
+		{Plan: sampleInfo()}, // explain: plan only
+		{Plan: sampleInfo(), Verified: &authindex.VerifiedResult{
+			Result:  sampleResult(),
+			Root:    []byte("0123456789abcdef0123456789abcdef"),
+			Leaves:  10,
+			Version: 42,
+			Proofs: []authindex.Proof{
+				{Position: 3, Siblings: [][]byte{[]byte("0123456789abcdef0123456789abcdef")}},
+				{Position: 9, Siblings: nil},
+			},
+		}},
+	}
+	for ci, resp := range cases {
+		enc := EncodeResponse(nil, resp)
+		dec, err := DecodeResponse(wire.NewBuffer(enc))
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", ci, err)
+		}
+		re := EncodeResponse(nil, dec)
+		if !reflect.DeepEqual(enc, re) {
+			t.Fatalf("case %d: re-encoding differs", ci)
+		}
+		if !reflect.DeepEqual(dec.Plan, resp.Plan) {
+			t.Fatalf("case %d: plan = %+v, want %+v", ci, dec.Plan, resp.Plan)
+		}
+		if (dec.Result == nil) != (resp.Result == nil) || (dec.Verified == nil) != (resp.Verified == nil) {
+			t.Fatalf("case %d: payload kind mismatch", ci)
+		}
+	}
+}
+
+func TestEncodeRequestDecodable(t *testing.T) {
+	qs := []*ph.EncryptedQuery{
+		{SchemeID: "swp-ph", Token: []byte("tok-a")},
+		{SchemeID: "swp-ph", Token: []byte("tok-b")},
+	}
+	payload := EncodeRequest(nil, "emp", wire.ConjFlagVerified, qs)
+	r := wire.NewBuffer(payload)
+	name, err := r.String()
+	if err != nil || name != "emp" {
+		t.Fatalf("name = %q, %v", name, err)
+	}
+	flags, err := r.U8()
+	if err != nil || flags != wire.ConjFlagVerified {
+		t.Fatalf("flags = %v, %v", flags, err)
+	}
+	n, err := r.U32()
+	if err != nil || n != 2 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	for i := uint32(0); i < n; i++ {
+		q, err := wire.DecodeQuery(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.SchemeID != qs[i].SchemeID || string(q.Token) != string(qs[i].Token) {
+			t.Fatalf("query %d round-trip mismatch", i)
+		}
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeResponseRejectsHostileCounts(t *testing.T) {
+	// A tiny frame declaring a huge plan must fail cleanly, not allocate.
+	payload := wire.AppendU8(nil, 0)
+	payload = wire.AppendU32(payload, 100)
+	payload = wire.AppendU32(payload, 0xFFFFFFFF)
+	if _, err := DecodeResponse(wire.NewBuffer(payload)); err == nil {
+		t.Fatal("hostile step count must be rejected")
+	}
+	// An estimate outside [0,1] (or NaN) is a protocol violation.
+	payload = wire.AppendU8(nil, 0)
+	payload = wire.AppendU32(payload, 100)
+	payload = wire.AppendU32(payload, 1)
+	payload = wire.AppendU32(payload, 0)                  // index
+	payload = wire.AppendU8(payload, 0)                   // source
+	payload = wire.AppendU64(payload, 0x7FF8000000000001) // NaN
+	payload = wire.AppendU8(payload, 0)
+	payload = wire.AppendU32(payload, 0)
+	payload = wire.AppendU32(payload, 0)
+	if _, err := DecodeResponse(wire.NewBuffer(payload)); err == nil {
+		t.Fatal("NaN estimate must be rejected")
+	}
+}
+
+func TestRenderUsesLabels(t *testing.T) {
+	out := sampleInfo().Render("emp", []string{"dept = 'HR'", "salary = 7500"})
+	for _, want := range []string{"plan for emp (10000 tuples)", "salary = 7500", "dept = 'HR'", "full-scan", "narrow", "observed", "prior"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered plan missing %q:\n%s", want, out)
+		}
+	}
+	// Steps render in execution order: the selective conjunct (request
+	// index 1) first.
+	if strings.Index(out, "salary = 7500") > strings.Index(out, "dept = 'HR'") {
+		t.Fatalf("execution order not reflected:\n%s", out)
+	}
+}

@@ -1,0 +1,101 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ph"
+	"repro/internal/wire"
+)
+
+// FuzzDecodeConjResponse drives the CmdQueryConj response decoder with
+// arbitrary bytes: it must never panic or over-allocate, and anything it
+// accepts must re-encode stably. Seeds cover all three response kinds
+// plus hostile shapes (huge step counts, NaN estimates, truncation).
+func FuzzDecodeConjResponse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeResponse(nil, &Response{Plan: sampleInfo(), Result: sampleResult()}))
+	f.Add(EncodeResponse(nil, &Response{Plan: sampleInfo()}))
+	f.Add(EncodeResponse(nil, &Response{Plan: &PlanInfo{Tuples: 3, Steps: []StepInfo{{Index: 0, Source: SourceSkipped, Est: 1}}}}))
+	// Hostile: tiny frame declaring 2^32-1 plan steps.
+	hostile := wire.AppendU8(nil, 0)
+	hostile = wire.AppendU32(hostile, 10)
+	hostile = wire.AppendU32(hostile, 0xFFFFFFFF)
+	f.Add(hostile)
+	// Hostile: NaN estimate.
+	nan := wire.AppendU8(nil, 0)
+	nan = wire.AppendU32(nan, 10)
+	nan = wire.AppendU32(nan, 1)
+	nan = wire.AppendU32(nan, 0)
+	nan = wire.AppendU8(nan, 0)
+	nan = wire.AppendU64(nan, 0x7FF8000000000001)
+	nan = wire.AppendU8(nan, 0)
+	nan = wire.AppendU32(nan, 0)
+	nan = wire.AppendU32(nan, 0)
+	f.Add(nan)
+	// Truncated valid response.
+	full := EncodeResponse(nil, &Response{Plan: sampleInfo(), Result: sampleResult()})
+	f.Add(full[:len(full)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeResponse(wire.NewBuffer(data))
+		if err != nil {
+			return
+		}
+		re := EncodeResponse(nil, resp)
+		resp2, err := DecodeResponse(wire.NewBuffer(re))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded response failed: %v", err)
+		}
+		if !reflect.DeepEqual(resp2.Plan, resp.Plan) {
+			t.Fatal("plan not stable across re-encoding")
+		}
+	})
+}
+
+// FuzzDecodeConjRequest drives the server-side request fields the same
+// way the server's handler reads them (name, flags, count, queries).
+func FuzzDecodeConjRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeRequest(nil, "emp", 0, sampleQueries()))
+	f.Add(EncodeRequest(nil, "emp", wire.ConjFlagVerified, sampleQueries()))
+	f.Add(EncodeRequest(nil, "", wire.ConjFlagExplain, nil))
+	// Hostile count in a small frame.
+	hostile := wire.AppendString(nil, "emp")
+	hostile = wire.AppendU8(hostile, 0)
+	hostile = wire.AppendU32(hostile, 0xFFFFFFFF)
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := wire.NewBuffer(data)
+		if _, err := r.String(); err != nil {
+			return
+		}
+		if _, err := r.U8(); err != nil {
+			return
+		}
+		n, err := r.U32()
+		if err != nil {
+			return
+		}
+		// Mirror the server's clamp: preallocation bounded by what the
+		// payload could hold, decode loop reads the declared count.
+		capHint := r.Remaining() / 8
+		if uint64(n) < uint64(capHint) {
+			capHint = int(n)
+		}
+		if capHint > 1<<20 {
+			t.Fatalf("clamp admitted %d preallocated queries from a %d-byte payload", capHint, len(data))
+		}
+		for i := uint32(0); i < n; i++ {
+			if _, err := wire.DecodeQuery(r); err != nil {
+				return
+			}
+		}
+	})
+}
+
+func sampleQueries() []*ph.EncryptedQuery {
+	return []*ph.EncryptedQuery{
+		{SchemeID: "swp-ph", Token: []byte("tok-a")},
+		{SchemeID: "swp-ph", Token: []byte("tok-b")},
+	}
+}

@@ -1,0 +1,324 @@
+// Package query implements the server-side conjunctive query planner
+// and executor (layer 9 of DESIGN.md). The paper's construction only
+// preserves single-attribute exact selects, so a conjunction
+// `a = x AND b = y` used to ship every conjunct's full match set to the
+// client, which intersected after decryption — bandwidth and client CPU
+// proportional to the *least* selective predicate. Position sets,
+// however, are scheme-opaque server-side metadata: intersecting them on
+// the server leaks nothing beyond the per-conjunct access pattern every
+// batched query already reveals. This package therefore plans and runs
+// the intersection where the data lives:
+//
+//   - a Plan orders the conjuncts by estimated selectivity — cached
+//     position sets first (they cost nothing), then ascending estimate,
+//     with estimates fed by the per-table stats.QuerySketch and by the
+//     layer-6 result cache;
+//   - execution evaluates the cheapest conjunct first (one full scan at
+//     most, and none when a conjunct is cached) and *narrows*: every
+//     later conjunct is tested only at the surviving positions through
+//     ph.ApplyOn, so a k-conjunct query costs O(n + Σ|survivors|) match
+//     tests instead of k·O(n) scans plus k result transfers;
+//   - the executed plan reports, per conjunct, where its positions came
+//     from and how many tests it ran, which is what CmdQueryConj returns
+//     to the client and what phclient's -explain renders.
+//
+// The storage layer owns the locks, the cache and the sketch; it
+// gathers the per-conjunct cache state into Conjunct values, calls
+// Build, runs the plan under its read-locked snapshot, and feeds the
+// fresh full-table position sets back into cache and sketch.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ph"
+)
+
+// CachedState describes what the result cache held for a conjunct when
+// the plan was built.
+type CachedState int
+
+const (
+	// CachedNone: no usable cache entry; the conjunct must be evaluated.
+	CachedNone CachedState = iota
+	// CachedPrefix: Positions are exact for the first Scanned tuples
+	// only (the table has been appended to since the entry was stored).
+	CachedPrefix
+	// CachedFull: Positions are exact for the whole table.
+	CachedFull
+)
+
+// Source records how a conjunct was (or would be) served.
+type Source int
+
+const (
+	// SourceScan: full table scan through the scheme's evaluator.
+	SourceScan Source = iota
+	// SourceHit: answered entirely from the result cache.
+	SourceHit
+	// SourceDelta: cached prefix positions plus a scan of the appended
+	// tail (as driver) or of the surviving tail candidates.
+	SourceDelta
+	// SourceNarrow: evaluated only at the surviving candidate positions.
+	SourceNarrow
+	// SourceSkipped: never evaluated — the survivor set was already
+	// empty when this conjunct's turn came.
+	SourceSkipped
+)
+
+// String names the source for explain output.
+func (s Source) String() string {
+	switch s {
+	case SourceScan:
+		return "full-scan"
+	case SourceHit:
+		return "cache-hit"
+	case SourceDelta:
+		return "cache-delta"
+	case SourceNarrow:
+		return "narrow"
+	case SourceSkipped:
+		return "skipped"
+	}
+	return fmt.Sprintf("source(%d)", int(s))
+}
+
+// Conjunct is one predicate of the conjunction, annotated with the cache
+// and sketch state the planner decides on. The storage layer fills the
+// input fields; Run fills the execution fields.
+type Conjunct struct {
+	// Index is the conjunct's position in the client's request.
+	Index int
+	// Q is the encrypted query token.
+	Q *ph.EncryptedQuery
+
+	// Cached classifies the result-cache entry found at plan time.
+	Cached CachedState
+	// Positions holds the cached hit positions (whole table for
+	// CachedFull, the first Scanned tuples for CachedPrefix).
+	Positions []int
+	// Scanned is the prefix length Positions covers.
+	Scanned int
+	// Est is the estimated selectivity in [0, 1] used for ordering.
+	Est float64
+	// EstKnown reports whether Est comes from observations of this very
+	// token (cache entry or sketch) rather than from a prior.
+	EstKnown bool
+
+	// Source records how the conjunct was served (filled by Run, or by
+	// Annotate with the predicted source in explain mode).
+	Source Source
+	// Tested counts the positions the evaluator actually tested.
+	Tested int
+	// Hits is the survivor count after applying this conjunct.
+	Hits int
+	// NarrowHits counts the hits among the Tested positions. It differs
+	// from Hits on delta narrows, where Hits also includes
+	// cached-prefix survivors that were never tested; this is the
+	// numerator of the conditional-selectivity observation the storage
+	// layer feeds back to the sketch.
+	NarrowHits int
+	// FullPositions, when non-nil, is a freshly computed full-table
+	// position set for this conjunct — exactly what the storage layer
+	// writes back to the result cache and the selectivity sketch.
+	FullPositions []int
+}
+
+// Plan is an ordered conjunctive execution plan over one table snapshot.
+type Plan struct {
+	// Table is the table name (for rendering only).
+	Table string
+	// Tuples is the snapshot's tuple count.
+	Tuples int
+	// Conjuncts are the predicates in execution order.
+	Conjuncts []*Conjunct
+}
+
+// scanCost approximates the positions this conjunct must test to
+// produce its full position set: the whole table for an uncached
+// conjunct, only the appended tail for a cached prefix, nothing for a
+// full cache entry.
+func (c *Conjunct) scanCost(tuples int) int {
+	switch c.Cached {
+	case CachedFull:
+		return 0
+	case CachedPrefix:
+		return tuples - c.Scanned
+	default:
+		return tuples
+	}
+}
+
+// Build orders the conjuncts into a plan: fully cached conjuncts first
+// (their positions are free — intersecting them costs no cryptography),
+// smallest cached set leading; the rest ascend by estimated cost
+// scanCost + Est·tuples — the positions a conjunct would test as driver
+// plus the survivors it would hand to the next step. For equally cached
+// conjuncts this reduces to ordering by selectivity; a cached prefix
+// needing only a small tail scan beats a marginally more selective
+// uncached conjunct that would full-scan. The sort is stable, so ties
+// keep request order and plans are deterministic.
+func Build(table string, tuples int, conjs []*Conjunct) (*Plan, error) {
+	if len(conjs) == 0 {
+		return nil, fmt.Errorf("query: empty conjunction")
+	}
+	cost := func(c *Conjunct) float64 {
+		return float64(c.scanCost(tuples)) + c.Est*float64(tuples)
+	}
+	ordered := append([]*Conjunct(nil), conjs...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if (a.Cached == CachedFull) != (b.Cached == CachedFull) {
+			return a.Cached == CachedFull
+		}
+		if a.Cached == CachedFull { // both cached: smallest set first
+			return len(a.Positions) < len(b.Positions)
+		}
+		return cost(a) < cost(b)
+	})
+	return &Plan{Table: table, Tuples: tuples, Conjuncts: ordered}, nil
+}
+
+// Run executes the plan against the snapshot it was built for. The
+// returned positions are the conjunction's intersection, ascending. The
+// caller holds whatever lock makes et stable; Run itself takes none.
+func (p *Plan) Run(et *ph.EncryptedTable) ([]int, error) {
+	if len(et.Tuples) != p.Tuples {
+		return nil, fmt.Errorf("query: plan built for %d tuples run against %d", p.Tuples, len(et.Tuples))
+	}
+	n := p.Tuples
+	var surv []int
+	for step, cj := range p.Conjuncts {
+		if step > 0 && len(surv) == 0 {
+			cj.Source = SourceSkipped
+			continue
+		}
+		switch {
+		case cj.Cached == CachedFull:
+			cj.Source = SourceHit
+			if step == 0 {
+				surv = append([]int(nil), cj.Positions...)
+			} else {
+				surv = ph.IntersectPositions(surv, cj.Positions)
+			}
+		case step == 0:
+			// Driver: this conjunct must produce a full-table position
+			// set. A cached prefix means only the appended tail needs
+			// scanning; the completed set is cacheable either way. Both
+			// shapes go through ApplyOn rather than Apply: only the
+			// positions are needed here, and Apply would deep-clone every
+			// matching tuple just for them to be discarded.
+			var full []int
+			if cj.Cached == CachedPrefix {
+				tail, err := ph.ApplyOn(et, cj.Q, ascending(cj.Scanned, n))
+				if err != nil {
+					return nil, err
+				}
+				full = make([]int, 0, len(cj.Positions)+len(tail))
+				full = append(full, cj.Positions...)
+				full = append(full, tail...)
+				cj.Source = SourceDelta
+				cj.Tested = n - cj.Scanned
+			} else {
+				// Nil candidates = whole table (the Narrower contract):
+				// a positions-only full scan, no candidate list built.
+				positions, err := ph.ApplyOn(et, cj.Q, nil)
+				if err != nil {
+					return nil, err
+				}
+				full = positions
+				cj.Source = SourceScan
+				cj.Tested = n
+			}
+			cj.FullPositions = full
+			surv = append([]int(nil), full...)
+		default:
+			// Narrow: test this conjunct only at the survivors. A cached
+			// prefix splits the work — survivors inside the prefix
+			// intersect the cached positions for free, only survivors in
+			// the appended tail are actually tested.
+			if cj.Cached == CachedPrefix {
+				cut := sort.SearchInts(surv, cj.Scanned)
+				pre := ph.IntersectPositions(surv[:cut], cj.Positions)
+				tail, err := ph.ApplyOn(et, cj.Q, surv[cut:])
+				if err != nil {
+					return nil, err
+				}
+				cj.Source = SourceDelta
+				cj.Tested = len(surv) - cut
+				cj.NarrowHits = len(tail)
+				surv = append(pre, tail...)
+			} else {
+				narrowed, err := ph.ApplyOn(et, cj.Q, surv)
+				if err != nil {
+					return nil, err
+				}
+				cj.Source = SourceNarrow
+				cj.Tested = len(surv)
+				cj.NarrowHits = len(narrowed)
+				surv = narrowed
+			}
+		}
+		cj.Hits = len(surv)
+	}
+	if surv == nil {
+		surv = []int{}
+	}
+	return surv, nil
+}
+
+// Annotate fills each conjunct's Source with the *predicted* serving
+// path without evaluating anything — the explain-mode counterpart of
+// Run. Tested and Hits stay zero: estimates, not measurements.
+func (p *Plan) Annotate() {
+	for step, cj := range p.Conjuncts {
+		switch {
+		case cj.Cached == CachedFull:
+			cj.Source = SourceHit
+		case step == 0:
+			if cj.Cached == CachedPrefix {
+				cj.Source = SourceDelta
+			} else {
+				cj.Source = SourceScan
+			}
+		default:
+			if cj.Cached == CachedPrefix {
+				cj.Source = SourceDelta
+			} else {
+				cj.Source = SourceNarrow
+			}
+		}
+	}
+}
+
+// ascending returns the positions [lo, hi) as an ascending slice. The
+// result is never nil — in the Narrower contract nil means "the whole
+// table", which an empty range must not accidentally request.
+func ascending(lo, hi int) []int {
+	if hi <= lo {
+		return []int{}
+	}
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// Info summarises the plan for the wire: one step per conjunct, in
+// execution order.
+func (p *Plan) Info() *PlanInfo {
+	info := &PlanInfo{Tuples: p.Tuples, Steps: make([]StepInfo, len(p.Conjuncts))}
+	for i, cj := range p.Conjuncts {
+		info.Steps[i] = StepInfo{
+			Index:    cj.Index,
+			Source:   cj.Source,
+			Est:      cj.Est,
+			EstKnown: cj.EstKnown,
+			Tested:   cj.Tested,
+			Hits:     cj.Hits,
+		}
+	}
+	return info
+}

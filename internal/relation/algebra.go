@@ -7,8 +7,11 @@ import (
 
 // Pred is a predicate over tuples of a given schema. The paper's construction
 // preserves exact selects only, so the predicate language is deliberately
-// small: equality tests and conjunctions of them. Conjunctions are evaluated
-// client-side by intersecting single-equality results.
+// small: equality tests and conjunctions of them. Conjunctions are pushed
+// down to the server's planner (internal/query), which intersects the
+// per-conjunct position sets; client-side, And doubles as the
+// false-positive filter after decryption and as the legacy
+// intersection fallback for pre-pushdown servers.
 type Pred interface {
 	// Eval reports whether the tuple satisfies the predicate.
 	Eval(s *Schema, t Tuple) (bool, error)
@@ -57,8 +60,11 @@ func (e Eq) String() string {
 	return fmt.Sprintf("σ_%s:%s", e.Column, e.Value.Encode())
 }
 
-// And is a conjunction of predicates. The homomorphism itself only handles a
-// single Eq; And is client-side sugar implemented by intersection.
+// And is a conjunction of predicates. The homomorphism itself only handles
+// a single Eq; a conjunctive query ships one token per conjunct and the
+// server intersects their position sets. And is the plaintext-side mirror:
+// the client re-evaluates it to filter checksum false positives, and the
+// legacy fallback path uses it over Intersect.
 type And struct {
 	// Preds are the conjuncts; And is satisfied iff all of them are.
 	Preds []Pred
@@ -151,7 +157,8 @@ func Project(t *Table, cols ...string) (*Table, error) {
 }
 
 // Intersect returns the multiset intersection of two tables over the same
-// schema. It is used to evaluate conjunctive selects client-side, and by the
+// schema. It evaluates conjunctive selects client-side on the legacy
+// fallback path (servers without the conjunctive pushdown), and powers the
 // paper's intersection attacks (§2).
 func Intersect(a, b *Table) (*Table, error) {
 	if !a.Schema().Equal(b.Schema()) {

@@ -20,6 +20,14 @@
 // it remains two round trips: a mutation landing between them yields
 // proofs for a newer tree than the fetched root, which a verifying
 // client must treat as a mismatch. New code should use CmdQueryVerified.
+//
+// Conjunctive queries (CmdQueryConj) run through the selectivity-ordered
+// planner (internal/query) under one read-locked snapshot: the server
+// intersects the scheme-opaque per-conjunct position sets and returns
+// only the tuples in the intersection — optionally with proofs from the
+// same snapshot, or just the plan (explain). This moves *where* the
+// intersection happens, not what Eve learns: per-conjunct access
+// patterns are her view either way.
 package server
 
 import (
@@ -33,6 +41,7 @@ import (
 
 	"repro/internal/authindex"
 	"repro/internal/ph"
+	"repro/internal/query"
 	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/wire"
@@ -431,6 +440,50 @@ func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 			return wire.Frame{}, err
 		}
 		return wire.Frame{Type: wire.RespResultVerified, Payload: authindex.EncodeVerifiedResult(scratch, vr)}, nil
+
+	case wire.CmdQueryConj:
+		// The conjunctive pushdown: plan by estimated selectivity, narrow
+		// survivors, answer with only the intersection. Executed (and, for
+		// the verified flag, proof-cut) under one read-locked store
+		// snapshot; the explain flag returns the plan without running it.
+		name, err := r.String()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		flags, err := r.U8()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		n, err := r.U32()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		// Clamped like CmdQueryBatch: a declared count in a hostile frame
+		// cannot force a huge allocation.
+		queries := make([]*ph.EncryptedQuery, 0, clampCount(n, r.Remaining()/8))
+		for i := uint32(0); i < n; i++ {
+			q, err := wire.DecodeQuery(r)
+			if err != nil {
+				return wire.Frame{}, err
+			}
+			queries = append(queries, q)
+		}
+		resp := &query.Response{}
+		switch {
+		case flags&wire.ConjFlagExplain != 0:
+			if resp.Plan, err = s.store.ExplainConj(name, queries); err != nil {
+				return wire.Frame{}, err
+			}
+		case flags&wire.ConjFlagVerified != 0:
+			if resp.Verified, resp.Plan, err = s.store.QueryConjVerified(name, queries); err != nil {
+				return wire.Frame{}, err
+			}
+		default:
+			if resp.Result, resp.Plan, err = s.store.QueryConj(name, queries); err != nil {
+				return wire.Frame{}, err
+			}
+		}
+		return wire.Frame{Type: wire.RespResultConj, Payload: query.EncodeResponse(scratch, resp)}, nil
 
 	default:
 		return wire.Frame{}, fmt.Errorf("server: unknown command %#x", f.Type)

@@ -46,6 +46,15 @@
 // per trapdoor are exactly the access pattern every query already reveals
 // to the server by construction.
 //
+// Conjunctive queries: QueryConj (and its verified and explain
+// variants) plans a conjunction through internal/query under the same
+// single read-lock acquisition — per-conjunct cache state and the
+// entry's selectivity sketch (stats.QuerySketch, fed by every scan)
+// order the conjuncts, at most one full-width pass runs, and later
+// conjuncts only test surviving positions via ph.ApplyOn.
+// Fresh full-table position sets are written back to the cache per
+// conjunct, so a repeated conjunct hits even inside a new combination.
+//
 // Authenticated index: each table entry owns a version-stamped Merkle
 // tree (internal/authindex) over its tuples, built lazily on the first
 // Root/Prove/QueryVerified and from then on extended incrementally —
@@ -74,6 +83,8 @@ import (
 	"repro/internal/authindex"
 	"repro/internal/cache"
 	"repro/internal/ph"
+	"repro/internal/query"
+	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -116,6 +127,16 @@ type tableEntry struct {
 	// — and logging against — a superseded object, which keeps the log
 	// order of same-table records identical to their in-memory order.
 	stale bool
+	// sketch is the conjunctive planner's per-table selectivity sketch,
+	// fed by every scan this entry serves. It has its own internal
+	// mutex, so observing under the table's read lock is safe.
+	sketch *stats.QuerySketch
+}
+
+// newTableEntry creates a catalogued entry for a freshly installed table
+// at lineage base/version v.
+func newTableEntry(t *ph.EncryptedTable, v uint64) *tableEntry {
+	return &tableEntry{t: t, base: v, version: v, sketch: stats.NewQuerySketch()}
 }
 
 // authTree returns the entry's authenticated index, built or extended to
@@ -366,7 +387,7 @@ func (s *Store) applyRecord(op byte, payload []byte) error {
 			return err
 		}
 		v := s.clock.Add(1)
-		s.tables[name] = &tableEntry{t: t, base: v, version: v}
+		s.tables[name] = newTableEntry(t, v)
 	case opInsert:
 		name, err := r.String()
 		if err != nil {
@@ -443,7 +464,7 @@ func (s *Store) Put(name string, t *ph.EncryptedTable) error {
 		old.mu.Unlock()
 	}
 	v := s.clock.Add(1)
-	s.tables[name] = &tableEntry{t: clone, base: v, version: v}
+	s.tables[name] = newTableEntry(clone, v)
 	if s.cache != nil {
 		s.cache.InvalidateTable(name)
 	}
@@ -573,10 +594,17 @@ func (s *Store) Query(name string, q *ph.EncryptedQuery) (*ph.Result, error) {
 
 // queryLocked is Query's body, factored out so QueryVerified can run it
 // under the same single read-lock acquisition that cuts its proofs.
-// Callers hold e.mu (read suffices).
+// Callers hold e.mu (read suffices). Every scan it runs is fed back into
+// the entry's selectivity sketch, which is how the conjunctive planner
+// learns from ordinary single selects.
 func queryLocked(e *tableEntry, c *cache.Cache, name string, q *ph.EncryptedQuery) (*ph.Result, error) {
 	if c == nil {
-		return ph.Apply(e.t, q)
+		res, err := ph.Apply(e.t, q)
+		if err != nil {
+			return nil, err
+		}
+		e.observeScan(q, len(res.Positions), len(e.t.Tuples))
+		return res, nil
 	}
 	ent, outcome := c.Lookup(name, q, e.base, len(e.t.Tuples))
 	switch outcome {
@@ -588,6 +616,7 @@ func queryLocked(e *tableEntry, c *cache.Cache, name string, q *ph.EncryptedQuer
 		if err != nil {
 			return nil, err
 		}
+		e.observeScan(q, len(res.Positions), len(tail.Tuples))
 		positions := ent.Positions // Lookup returned a private copy
 		for _, p := range res.Positions {
 			positions = append(positions, p+ent.Scanned)
@@ -599,9 +628,157 @@ func queryLocked(e *tableEntry, c *cache.Cache, name string, q *ph.EncryptedQuer
 		if err != nil {
 			return nil, err
 		}
+		e.observeScan(q, len(res.Positions), len(e.t.Tuples))
 		c.Store(name, q, cache.Entry{Positions: res.Positions, Scanned: len(e.t.Tuples), Version: e.version})
 		return res, nil
 	}
+}
+
+// observeScan feeds one scan's outcome into the entry's selectivity
+// sketch. The token length buckets the prior — the closest thing to a
+// per-column signal the ciphertext carries (PerColumnWidth layouts give
+// each column group its own token length).
+func (e *tableEntry) observeScan(q *ph.EncryptedQuery, hits, scanned int) {
+	e.sketch.Observe(stats.TokenDigest(q.SchemeID, q.Token), len(q.Token), hits, scanned)
+}
+
+// planConj gathers the planner inputs for one conjunctive query under
+// the caller's read lock: per conjunct, the result-cache state (a hit
+// makes the conjunct free; a prefix entry halves its cost) and the
+// sketch's selectivity estimate, then orders everything into a Plan.
+func (e *tableEntry) planConj(c *cache.Cache, name string, qs []*ph.EncryptedQuery) (*query.Plan, error) {
+	n := len(e.t.Tuples)
+	conjs := make([]*query.Conjunct, len(qs))
+	for i, q := range qs {
+		cj := &query.Conjunct{Index: i, Q: q}
+		outcome := cache.Miss
+		var ent cache.Entry
+		if c != nil {
+			ent, outcome = c.Lookup(name, q, e.base, n)
+		}
+		switch outcome {
+		case cache.Hit:
+			cj.Cached = query.CachedFull
+			cj.Positions, cj.Scanned = ent.Positions, ent.Scanned
+			cj.EstKnown = true
+			if n > 0 {
+				cj.Est = float64(len(ent.Positions)) / float64(n)
+			}
+		case cache.Delta:
+			cj.Cached = query.CachedPrefix
+			cj.Positions, cj.Scanned = ent.Positions, ent.Scanned
+			if ent.Scanned > 0 {
+				cj.EstKnown = true
+				cj.Est = float64(len(ent.Positions)) / float64(ent.Scanned)
+			}
+		default:
+			cj.Est, cj.EstKnown = e.sketch.Estimate(stats.TokenDigest(q.SchemeID, q.Token), len(q.Token))
+		}
+		conjs[i] = cj
+	}
+	return query.Build(name, n, conjs)
+}
+
+// conjLocked plans and executes one conjunctive query under the caller's
+// read lock and feeds the results back: every full-table position set
+// the run produced goes into the result cache (per-conjunct — a repeated
+// conjunct is a cache hit even inside a new combination), and every
+// evaluation feeds the selectivity sketch (narrowed passes record the
+// conditional selectivity the planner's ordering actually wants).
+func conjLocked(e *tableEntry, c *cache.Cache, name string, qs []*ph.EncryptedQuery) ([]int, *query.Plan, error) {
+	plan, err := e.planConj(c, name, qs)
+	if err != nil {
+		return nil, nil, err
+	}
+	positions, err := plan.Run(e.t)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(e.t.Tuples)
+	for _, cj := range plan.Conjuncts {
+		if cj.FullPositions != nil {
+			if c != nil {
+				c.Store(name, cj.Q, cache.Entry{Positions: cj.FullPositions, Scanned: n, Version: e.version})
+			}
+			e.observeScan(cj.Q, len(cj.FullPositions), n)
+		} else if cj.Tested > 0 {
+			// Narrowed pass — plain or over a cached prefix's tail: its
+			// hits among the tested positions are the conjunct's
+			// selectivity conditioned on the predicates before it.
+			e.observeScan(cj.Q, cj.NarrowHits, cj.Tested)
+		}
+	}
+	return positions, plan, nil
+}
+
+// QueryConj evaluates a conjunction of encrypted queries against the
+// named table through the selectivity-ordered planner, under one
+// read-locked snapshot, and returns only the tuples in the intersection
+// together with the executed plan's summary. Intersecting position sets
+// server-side reveals nothing beyond the per-conjunct access pattern a
+// batched query already shows the server.
+func (s *Store) QueryConj(name string, qs []*ph.EncryptedQuery) (*ph.Result, *query.PlanInfo, error) {
+	e, c, err := s.entry(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	positions, plan, err := conjLocked(e, c, name, qs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ph.SelectPositions(e.t, positions), plan.Info(), nil
+}
+
+// QueryConjVerified is QueryConj with the one-round verified-read
+// discipline of QueryVerified extended to conjunctions: the
+// intersection's tuples travel with inclusion proofs, root, leaf count
+// and version cut from the same read-locked snapshot that planned and
+// executed the conjunction.
+func (s *Store) QueryConjVerified(name string, qs []*ph.EncryptedQuery) (*authindex.VerifiedResult, *query.PlanInfo, error) {
+	e, c, err := s.entry(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	positions, plan, err := conjLocked(e, c, name, qs)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree := e.authTree()
+	proofs, err := tree.Prove(positions)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &authindex.VerifiedResult{
+		Result:  ph.SelectPositions(e.t, positions),
+		Root:    tree.Root(),
+		Leaves:  len(e.t.Tuples),
+		Version: e.version,
+		Proofs:  proofs,
+	}, plan.Info(), nil
+}
+
+// ExplainConj builds — but does not execute — the plan for a
+// conjunctive query: conjunct order, selectivity estimates, and each
+// conjunct's predicted serving path. The cache is consulted exactly as
+// execution would (which counts in its statistics), but no tuple is
+// scanned.
+func (s *Store) ExplainConj(name string, qs []*ph.EncryptedQuery) (*query.PlanInfo, error) {
+	e, c, err := s.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	plan, err := e.planConj(c, name, qs)
+	if err != nil {
+		return nil, err
+	}
+	plan.Annotate()
+	return plan.Info(), nil
 }
 
 // Root returns the named table's authenticated-index root, tuple count

@@ -64,6 +64,14 @@ const (
 	// separate command so pre-extension clients sending CmdInsert keep
 	// receiving the RespOK they expect.
 	CmdInsertStamped byte = 0x0B
+	// CmdQueryConj evaluates a conjunction of encrypted queries
+	// server-side through the selectivity-ordered planner
+	// (internal/query) and returns only the tuples in the intersection.
+	// Payload: name, flags (ConjFlag*), query count, queries. With
+	// ConjFlagExplain the plan is built and returned without executing;
+	// with ConjFlagVerified the intersection travels with inclusion
+	// proofs, root, leaf count and version from the same snapshot.
+	CmdQueryConj byte = 0x0C
 
 	// RespOK acknowledges a command with no payload.
 	RespOK byte = 0x81
@@ -89,6 +97,20 @@ const (
 	// RespResultVerified carries an authindex.VerifiedResult (answer to
 	// CmdQueryVerified; extension).
 	RespResultVerified byte = 0x8A
+	// RespResultConj carries a query.Response — the executed plan's
+	// summary plus the conjunction's result (plain or verified), or the
+	// plan alone in explain mode (answer to CmdQueryConj).
+	RespResultConj byte = 0x8B
+)
+
+// CmdQueryConj request flag bits.
+const (
+	// ConjFlagVerified requests the verified variant: the intersection
+	// is answered with proofs, root, leaf count and version cut from the
+	// same snapshot (the conjunctive extension of CmdQueryVerified).
+	ConjFlagVerified byte = 1 << 0
+	// ConjFlagExplain requests the plan without executing it.
+	ConjFlagExplain byte = 1 << 1
 )
 
 // Frame is one protocol message.
