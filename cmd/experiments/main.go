@@ -1,5 +1,5 @@
 // Command experiments regenerates every evaluation artifact of the
-// reproduction (experiments E1–E17 of DESIGN.md) and prints the result
+// reproduction (experiments E1–E18 of DESIGN.md) and prints the result
 // tables, optionally as markdown for EXPERIMENTS.md.
 //
 // Usage:
@@ -15,13 +15,14 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e17); empty = all")
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (e1..e18); empty = all")
 		outPath  = flag.String("o", "", "also write the output to this file")
 		trials   = flag.Int("trials", 200, "game trials per cell (E1, E4)")
 		patients = flag.Int("patients", 400, "patients per hospital table (E2, E3)")
@@ -45,11 +46,13 @@ func main() {
 	e13Tuples := 10000
 	e14Clients := 8
 	e15Writers, e15Ops := 8, 60
+	e18Tuples, e18Window := 2000, 400*time.Millisecond
 	if *quick {
 		sizes = []int{100, 1000}
 		e8sizes = []int{100, 1000}
 		e13Tuples = 2048
 		e15Ops = 15
+		e18Tuples, e18Window = 1000, 250*time.Millisecond
 	}
 
 	want := map[string]bool{}
@@ -84,6 +87,7 @@ func main() {
 		// E17 ignores -quick sizing: its ≥5x gate is specified at ≥10k
 		// tuples and RunE17 clamps up to that floor anyway.
 		{"e17", func() (*bench.Table, error) { return bench.RunE17(10000, *seed) }},
+		{"e18", func() (*bench.Table, error) { return bench.RunE18(e18Tuples, 6, e18Window, *seed) }},
 	}
 	var out io.Writer = os.Stdout
 	if *outPath != "" {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	phserver [-addr :7632] [-log /path/to/store.log] [-sync always|interval|never] [-sync-interval 100ms]
+//	phserver [-addr :7633] -replica-of primary:7632 [-poll 100ms]
 //
 // With -log the store is durable: mutations are appended to a
 // checksummed write-ahead log and replayed on restart (torn or corrupt
@@ -14,6 +15,17 @@
 // group commit; "interval" fsyncs in the background every
 // -sync-interval; "never" leaves flushing to the OS. Without -log the
 // store is in-memory and the sync flags are ignored.
+//
+// With -replica-of the server runs as a read replica: it tails the
+// named primary's write-ahead log over the wire, replays it into an
+// in-memory store, and serves reads from it; mutations are rejected
+// with a message naming the primary. Replicas hold no trusted state —
+// clients verify replica answers against their pinned root exactly as
+// they verify the primary's — so -replica-of composes with -log being
+// absent by design and the two flags are mutually exclusive.
+//
+// -idle-timeout, -write-timeout and -max-conns bound per-connection
+// I/O and the connection count on any server (0 = unlimited).
 package main
 
 import (
@@ -24,7 +36,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"repro/internal/client"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/storage"
 
@@ -39,16 +54,40 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7632", "listen address")
-		logPath  = flag.String("log", "", "write-ahead persistence log (empty = in-memory)")
-		syncMode = flag.String("sync", "always", "log sync policy: always (group-commit fsync per ack), interval (background fsync), never")
-		syncIvl  = flag.Duration("sync-interval", storage.DefaultSyncInterval, "background fsync period under -sync interval")
+		addr      = flag.String("addr", ":7632", "listen address")
+		logPath   = flag.String("log", "", "write-ahead persistence log (empty = in-memory)")
+		syncMode  = flag.String("sync", "always", "log sync policy: always (group-commit fsync per ack), interval (background fsync), never")
+		syncIvl   = flag.Duration("sync-interval", storage.DefaultSyncInterval, "background fsync period under -sync interval")
+		replicaOf = flag.String("replica-of", "", "run as a read replica tailing this primary address")
+		poll      = flag.Duration("poll", 100*time.Millisecond, "replica poll interval once caught up")
+		idleTO    = flag.Duration("idle-timeout", 0, "per-connection idle deadline between frames (0 = none)")
+		writeTO   = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
+		maxConns  = flag.Int("max-conns", 0, "maximum concurrent connections (0 = unlimited)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "phserver: ", log.LstdFlags)
 
+	opts := server.Options{
+		IdleTimeout:  *idleTO,
+		WriteTimeout: *writeTO,
+		MaxConns:     *maxConns,
+	}
+
 	var store *storage.Store
-	if *logPath != "" {
+	var follower *replica.Follower
+	switch {
+	case *replicaOf != "":
+		if *logPath != "" {
+			logger.Fatal("-replica-of and -log are mutually exclusive: a replica's state IS the primary's log")
+		}
+		follower = replica.New(func() (*client.Conn, error) {
+			return client.DialWithConfig(*replicaOf, client.DialConfig{})
+		}, replica.Options{PollInterval: *poll, Logf: logger.Printf})
+		defer follower.Close()
+		store = follower.Store()
+		opts.ReadOnly = true
+		logger.Printf("read replica of %s (poll %s); mutations rejected", *replicaOf, *poll)
+	case *logPath != "":
 		policy, err := storage.ParseSyncPolicy(*syncMode)
 		if err != nil {
 			logger.Fatalf("bad -sync flag: %v", err)
@@ -59,7 +98,7 @@ func main() {
 		}
 		defer store.Close()
 		logger.Printf("durable store at %s (sync policy %s)", *logPath, policy)
-	} else {
+	default:
 		store = storage.NewMemory()
 		logger.Print("in-memory store (no -log given)")
 	}
@@ -68,7 +107,7 @@ func main() {
 	if err != nil {
 		logger.Fatalf("listen: %v", err)
 	}
-	srv := server.New(store, logger)
+	srv := server.NewWithOptions(store, logger, opts)
 	logger.Printf("listening on %s", l.Addr())
 	for _, info := range store.List() {
 		logger.Printf("replayed table %q (%s, %d tuples)", info.Name, info.SchemeID, info.Tuples)

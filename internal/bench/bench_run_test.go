@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // These tests run every experiment at reduced size and assert the *shapes*
@@ -427,6 +428,35 @@ func TestE17Shapes(t *testing.T) {
 	}
 	if cell(t, tab, legacy, 3) <= cell(t, tab, push, 3) {
 		t.Error("E17: legacy path should move more bytes than pushdown")
+	}
+}
+
+func TestE18Shapes(t *testing.T) {
+	// RunE18 self-gates hard: it errors unless 2-follower read throughput
+	// reaches 1.7x primary-only under the emulated capacity model, and
+	// unless both the kill-a-replica and Byzantine-replica drills end
+	// with answers bit-identical to the primary's. The shape asserted
+	// here is just that the three scaling rows exist, read counts are
+	// positive, and throughput never shrinks as nodes are added.
+	tab, err := RunE18(1000, 6, 250*time.Millisecond, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []int{
+		findRow(t, tab, "primary only"),
+		findRow(t, tab, "primary + 1 follower"),
+		findRow(t, tab, "primary + 2 followers"),
+	}
+	var prev float64
+	for i, row := range rows {
+		if reads := cell(t, tab, row, 2); reads <= 0 {
+			t.Errorf("E18 row %d: non-positive read count %v", row, reads)
+		}
+		rate := cell(t, tab, row, 3)
+		if rate < prev {
+			t.Errorf("E18: adding a node reduced throughput (%v -> %v reads/s at %d nodes)", prev, rate, i+1)
+		}
+		prev = rate
 	}
 }
 

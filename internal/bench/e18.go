@@ -1,0 +1,319 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/relation"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// e18ServiceFloor is the emulated per-request service time on every
+// node. The CI box is a single core, so real CPU parallelism across
+// "machines" in one process is impossible; instead each node gets a
+// strict capacity model — MaxInflight=1 and this floor, slept rather
+// than burned — making a node's ceiling 1/floor reads/s regardless of
+// host speed. Scaling measured under the model is pure protocol
+// routing: it shows up only if the client actually spreads reads over
+// the fleet.
+const e18ServiceFloor = 2 * time.Millisecond
+
+// e18Node is one serving process: a TCP listener in front of a store.
+type e18Node struct {
+	addr string
+	srv  *server.Server
+}
+
+func startNode(st *storage.Store, readOnly bool) (*e18Node, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := server.NewWithOptions(st, nil, server.Options{
+		ReadOnly:       readOnly,
+		MaxInflight:    1,
+		MinServiceTime: e18ServiceFloor,
+	})
+	go srv.Serve(l)
+	return &e18Node{addr: l.Addr().String(), srv: srv}, nil
+}
+
+func (n *e18Node) kill() { n.srv.Close() }
+
+// e18Dial is the client dial policy for the experiment: one attempt,
+// short timeout, so a killed node costs a bounded detour instead of a
+// retry stall (the DB quarantines it after the first failure anyway).
+func e18Dial() client.DialConfig {
+	return client.DialConfig{Timeout: 2 * time.Second, Attempts: 1}
+}
+
+// RunE18 regenerates experiment E18: WAL-shipping read replicas. A
+// durable primary and two followers (replica.Follower tailing the
+// primary's log over CmdShipLog, each behind a read-only server) serve
+// a fleet of verified-read clients; the experiment measures read
+// throughput as the client spreads over 1, 2 and 3 nodes, then runs
+// two live drills:
+//
+//   - kill-a-replica: a follower dies mid-stream; every subsequent read
+//     must still succeed (failover to the remaining nodes) and the
+//     answers must be bit-for-bit the primary's.
+//   - Byzantine replica: a node serving a tampered copy of the table;
+//     the client's pinned-root verification must reject it, quarantine
+//     it, and return the primary's answer — again bit-for-bit.
+//
+// The built-in gate requires ≥1.7x read throughput at 2 followers vs
+// primary-only, and both drills to end with answers identical to the
+// primary's.
+func RunE18(tuples, clients int, window time.Duration, seed int64) (*Table, error) {
+	if tuples <= 0 {
+		tuples = 2000
+	}
+	if clients <= 0 {
+		clients = 6
+	}
+	if window <= 0 {
+		window = 300 * time.Millisecond
+	}
+	t := &Table{
+		ID: "E18",
+		Title: fmt.Sprintf("WAL-shipping read replicas: verified-read throughput and failover (table: %d tuples, %d clients, %s window)",
+			tuples, clients, window),
+		Header: []string{"config", "read nodes", "reads", "reads/s", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("per-node capacity is EMULATED: MaxInflight=1 with a %s service floor (slept, not burned) — required on single-core CI, so speedup measures protocol routing, not host parallelism", e18ServiceFloor),
+			"every read is verified against the client's pinned root; replicas are untrusted and add capacity, never trust",
+			"followers replicate by tailing the primary's WAL over CmdShipLog into in-memory stores",
+		},
+	}
+
+	dir, err := os.MkdirTemp("", "e18-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Primary: durable store on its own TCP listener.
+	pst, err := storage.OpenOptions(filepath.Join(dir, "wal.log"), storage.Options{Sync: storage.SyncNever})
+	if err != nil {
+		return nil, err
+	}
+	defer pst.Close()
+	pnode, err := startNode(pst, false)
+	if err != nil {
+		return nil, err
+	}
+	defer pnode.kill()
+
+	// Dataset and trust anchor, uploaded through a regular client.
+	key, err := crypto.RandomKey()
+	if err != nil {
+		return nil, err
+	}
+	table, err := e17Table(tuples, seed)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := core.New(key, table.Schema(), core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	setup, err := client.DialWithConfig(pnode.addr, e18Dial())
+	if err != nil {
+		return nil, err
+	}
+	defer setup.Close()
+	seedDB := client.NewDB(setup, scheme, "pairs")
+	if err := seedDB.CreateTable(table); err != nil {
+		return nil, err
+	}
+	root, rootTuples := seedDB.Root()
+
+	// Followers: tail the primary's WAL, serve read-only.
+	var followers []*e18Node
+	for i := 0; i < 2; i++ {
+		f := replica.New(func() (*client.Conn, error) {
+			return client.DialWithConfig(pnode.addr, e18Dial())
+		}, replica.Options{PollInterval: 20 * time.Millisecond})
+		defer f.Close()
+		if err := f.WaitCaughtUp(10 * time.Second); err != nil {
+			return nil, err
+		}
+		fn, err := startNode(f.Store(), true)
+		if err != nil {
+			return nil, err
+		}
+		defer fn.kill()
+		followers = append(followers, fn)
+	}
+
+	q := relation.Eq{Column: "code", Value: relation.String("c007")}
+	want, err := relation.Select(table, q)
+	if err != nil {
+		return nil, err
+	}
+	wantStr := want.Sorted().String()
+
+	newDB := func(readAddrs ...string) (*client.DB, error) {
+		conn, err := client.DialWithConfig(pnode.addr, e18Dial())
+		if err != nil {
+			return nil, err
+		}
+		db := client.NewDB(conn, scheme, "pairs")
+		db.PinRoot(root, rootTuples)
+		db.AddReplicas(e18Dial(), readAddrs...)
+		return db, nil
+	}
+
+	// measure runs `clients` goroutines of back-to-back verified reads
+	// against the given read nodes for one window.
+	measure := func(readAddrs ...string) (ops int64, err error) {
+		results := make(chan error, clients)
+		counts := make(chan int64, clients)
+		deadline := time.Now().Add(window)
+		for c := 0; c < clients; c++ {
+			go func() {
+				db, err := newDB(readAddrs...)
+				if err != nil {
+					counts <- 0
+					results <- err
+					return
+				}
+				var n int64
+				for time.Now().Before(deadline) {
+					got, err := db.Select(q)
+					if err != nil {
+						counts <- n
+						results <- err
+						return
+					}
+					if got.Sorted().String() != wantStr {
+						counts <- n
+						results <- fmt.Errorf("bench: e18: verified read returned a wrong answer")
+						return
+					}
+					n++
+				}
+				counts <- n
+				results <- nil
+			}()
+		}
+		for c := 0; c < clients; c++ {
+			ops += <-counts
+			if rerr := <-results; rerr != nil && err == nil {
+				err = rerr
+			}
+		}
+		return ops, err
+	}
+
+	configs := []struct {
+		label string
+		addrs []string
+	}{
+		{"primary only", []string{pnode.addr}},
+		{"primary + 1 follower", []string{pnode.addr, followers[0].addr}},
+		{"primary + 2 followers", []string{pnode.addr, followers[0].addr, followers[1].addr}},
+	}
+	var base, last float64
+	for i, cfg := range configs {
+		ops, err := measure(cfg.addrs...)
+		if err != nil {
+			return nil, fmt.Errorf("bench: e18 %s: %w", cfg.label, err)
+		}
+		rate := float64(ops) / window.Seconds()
+		if i == 0 {
+			base = rate
+		}
+		last = rate
+		t.AddRow(cfg.label, fmt.Sprintf("%d", len(cfg.addrs)),
+			fmt.Sprintf("%d", ops), fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%.2fx", rate/base))
+	}
+	speedup := last / base
+	if speedup < 1.7 {
+		return nil, fmt.Errorf("bench: e18 gate: 2-follower speedup %.2fx, want >= 1.7x", speedup)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("scaling gate passed: %.2fx at primary + 2 followers (>= 1.7x required)", speedup))
+
+	// Drill 1: kill a follower mid-stream. Reads route through the dead
+	// node's slot, fail over, and keep answering the primary's truth.
+	drill, err := newDB(followers[1].addr)
+	if err != nil {
+		return nil, err
+	}
+	readOK := func(label string) error {
+		got, err := drill.Select(q)
+		if err != nil {
+			return fmt.Errorf("bench: e18 %s: %w", label, err)
+		}
+		if got.Sorted().String() != wantStr {
+			return fmt.Errorf("bench: e18 %s: answer differs from the primary's", label)
+		}
+		return nil
+	}
+	for i := 0; i < 3; i++ {
+		if err := readOK("pre-kill read"); err != nil {
+			return nil, err
+		}
+	}
+	followers[1].kill()
+	for i := 0; i < 3; i++ {
+		if err := readOK("post-kill read"); err != nil {
+			return nil, err
+		}
+	}
+	st := drill.ReadStats()
+	if st.Failovers == 0 {
+		return nil, fmt.Errorf("bench: e18: follower killed but no read failed over (stats %+v)", st)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"failover drill passed: follower killed live; %d replica reads before, %d failovers after, every answer bit-identical to the primary's",
+		st.ReplicaReads, st.Failovers))
+
+	// Drill 2: a Byzantine replica serving a tampered table. The pinned
+	// root rejects it; the read still succeeds — from the primary.
+	ct, err := setup.FetchAll("pairs")
+	if err != nil {
+		return nil, err
+	}
+	ct.Tuples[0].ID[0] ^= 0xFF
+	evil := storage.NewMemory()
+	if err := evil.Put("pairs", ct); err != nil {
+		return nil, err
+	}
+	enode, err := startNode(evil, true)
+	if err != nil {
+		return nil, err
+	}
+	defer enode.kill()
+	bdb, err := newDB(enode.addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := func() error {
+		got, err := bdb.Select(q)
+		if err != nil {
+			return fmt.Errorf("bench: e18 byzantine drill: %w", err)
+		}
+		if got.Sorted().String() != wantStr {
+			return fmt.Errorf("bench: e18 byzantine drill: answer differs from the primary's")
+		}
+		return nil
+	}(); err != nil {
+		return nil, err
+	}
+	bst := bdb.ReadStats()
+	if bst.ReplicaFailures == 0 || bst.ReplicaReads != 0 {
+		return nil, fmt.Errorf("bench: e18: tampered replica was not rejected (stats %+v)", bst)
+	}
+	t.Notes = append(t.Notes, "Byzantine drill passed: a replica serving one flipped byte failed pinned-root verification, was quarantined, and the primary's bit-identical answer was returned")
+	return t, nil
+}

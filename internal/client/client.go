@@ -16,6 +16,14 @@
 // CmdQueryConj. Pushdown changes where the intersection happens, not
 // what the server learns: per-conjunct access patterns are on the wire
 // either way.
+//
+// The transport is allowed to fail: DialWithConfig retries dials with
+// jittered backoff, connections take per-round-trip I/O deadlines, and
+// a DB can spread its single-round reads over untrusted read replicas
+// (AddReplicas) with round-robin routing, quarantine and failover to
+// the primary — replica answers are verified against the pinned root
+// exactly like the primary's, so replication never loosens the trust
+// model. See net.go.
 package client
 
 import (
@@ -26,6 +34,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/authindex"
 	"repro/internal/ph"
@@ -41,6 +50,10 @@ type Conn struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	// ioTimeout, when positive, bounds every round trip (request write +
+	// response read) so a wedged server cannot pin the caller forever.
+	// Set it via DialConfig.IOTimeout or SetIOTimeout.
+	ioTimeout time.Duration
 }
 
 // Dial connects to a server address.
@@ -64,6 +77,10 @@ func (c *Conn) Close() error { return c.conn.Close() }
 // roundTrip sends a command frame and reads the response, converting
 // RespError into a Go error.
 func (c *Conn) roundTrip(f wire.Frame) (wire.Frame, error) {
+	if c.ioTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.ioTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := wire.WriteFrame(c.w, f); err != nil {
 		return wire.Frame{}, err
 	}
@@ -377,6 +394,14 @@ type DB struct {
 	// (only the 32-byte anchor was persisted); the first insert then
 	// rebuilds it from a fetch *verified against the pinned root*.
 	frontier *authindex.Frontier
+
+	// replicas are optional read replicas; single-round reads spread
+	// over them round-robin and fail over to the primary (net.go). A
+	// replica whose answer fails the pinned-root check is quarantined
+	// like any other failure — the trust anchor never loosens.
+	replicas []*replicaState
+	rrNext   int
+	stats    ReadStats
 }
 
 // NewDB binds a scheme to a connection and remote table name.
@@ -678,7 +703,9 @@ func (db *DB) advanceRootBatch(chunks [][]ph.EncryptedTuple, acks []InsertAck, a
 // Select runs one exact select end to end: encrypt the query, evaluate it
 // at the server, decrypt, filter false positives. If a root is pinned, it
 // runs as a VerifiedQuery: one round trip whose result, proofs and root
-// come from the same server snapshot (extension).
+// come from the same server snapshot (extension). With read replicas
+// configured, the query is served from a replica when one answers
+// (withRead), failing over to the primary otherwise.
 func (db *DB) Select(q relation.Eq) (*relation.Table, error) {
 	if db.root != nil {
 		return db.VerifiedQuery(q)
@@ -687,8 +714,15 @@ func (db *DB) Select(q relation.Eq) (*relation.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.conn.Query(db.table, eq)
-	if err != nil {
+	var res *ph.Result
+	if err := db.withRead(func(c *Conn) error {
+		r, err := c.Query(db.table, eq)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	return db.scheme.DecryptResult(q, res)
@@ -712,11 +746,21 @@ func (db *DB) VerifiedQuery(q relation.Eq) (*relation.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	vr, err := db.conn.QueryVerified(db.table, eq)
-	if err != nil {
-		return nil, err
-	}
-	if err := db.checkVerified(vr); err != nil {
+	// The whole read — round trip AND pinned-root verification — runs
+	// inside withRead, so a stale or Byzantine replica fails like a dead
+	// one: quarantined, and the query retried elsewhere.
+	var vr *authindex.VerifiedResult
+	if err := db.withRead(func(c *Conn) error {
+		r, err := c.QueryVerified(db.table, eq)
+		if err != nil {
+			return err
+		}
+		if err := db.checkVerified(r); err != nil {
+			return err
+		}
+		vr = r
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	db.rootVersion = vr.Version
@@ -892,24 +936,37 @@ func (db *DB) SelectConj(eqs []relation.Eq) (*relation.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := db.conn.QueryConj(db.table, qs, db.root != nil)
-	if err != nil {
+	// As in VerifiedQuery, verification runs inside withRead so replica
+	// answers are held to the pinned root before they count as served.
+	var res *ph.Result
+	var version uint64
+	if err := db.withRead(func(c *Conn) error {
+		resp, err := c.QueryConj(db.table, qs, db.root != nil)
+		if err != nil {
+			return err
+		}
+		r := resp.Result
+		if db.root != nil {
+			vr := resp.Verified
+			if vr == nil {
+				return fmt.Errorf("client: server answered a verified conjunctive query without proofs")
+			}
+			if err := db.checkVerified(vr); err != nil {
+				return err
+			}
+			version = vr.Version
+			r = vr.Result
+		}
+		if r == nil {
+			return fmt.Errorf("client: conjunctive query answered without a result")
+		}
+		res = r
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	res := resp.Result
 	if db.root != nil {
-		vr := resp.Verified
-		if vr == nil {
-			return nil, fmt.Errorf("client: server answered a verified conjunctive query without proofs")
-		}
-		if err := db.checkVerified(vr); err != nil {
-			return nil, err
-		}
-		db.rootVersion = vr.Version
-		res = vr.Result
-	}
-	if res == nil {
-		return nil, fmt.Errorf("client: conjunctive query answered without a result")
+		db.rootVersion = version
 	}
 	return db.decryptConj(eqs, res)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/crypto"
@@ -23,6 +24,40 @@ import (
 type Config struct {
 	// Tables holds one entry per outsourced table.
 	Tables []TableConfig `json:"tables"`
+	// Net holds the transport knobs (dial retry, I/O deadlines, read
+	// replicas). The zero value keeps the library defaults.
+	Net NetConfig `json:"net,omitempty"`
+}
+
+// NetConfig is the JSON form of the client's transport knobs. All
+// durations are milliseconds; zero means "library default" everywhere
+// (see DialConfig).
+type NetConfig struct {
+	// DialTimeoutMS bounds one dial attempt.
+	DialTimeoutMS int `json:"dial_timeout_ms,omitempty"`
+	// DialAttempts is the total number of dial attempts before giving up.
+	DialAttempts int `json:"dial_attempts,omitempty"`
+	// DialBackoffMinMS/DialBackoffMaxMS bound the jittered doubling wait
+	// between attempts.
+	DialBackoffMinMS int `json:"dial_backoff_min_ms,omitempty"`
+	DialBackoffMaxMS int `json:"dial_backoff_max_ms,omitempty"`
+	// IOTimeoutMS bounds every round trip on established connections.
+	IOTimeoutMS int `json:"io_timeout_ms,omitempty"`
+	// Replicas lists read-replica addresses; pass them to DB.AddReplicas
+	// to spread verified reads with primary failover.
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// DialConfig converts the JSON knobs into a DialConfig.
+func (nc NetConfig) DialConfig() DialConfig {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	return DialConfig{
+		Timeout:    ms(nc.DialTimeoutMS),
+		Attempts:   nc.DialAttempts,
+		BackoffMin: ms(nc.DialBackoffMinMS),
+		BackoffMax: ms(nc.DialBackoffMaxMS),
+		IOTimeout:  ms(nc.IOTimeoutMS),
+	}
 }
 
 // TableConfig describes one outsourced table.

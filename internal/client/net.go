@@ -1,0 +1,296 @@
+package client
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Transport robustness: everything in this file is about the network
+// being allowed to fail. DialConfig turns the old one-shot net.Dial into
+// a bounded, jittered retry loop with per-attempt timeouts; Conn gains a
+// per-round-trip I/O deadline so a wedged server releases the client;
+// and DB gains read replicas with failover — reads spread round-robin
+// over healthy followers, any failure (transport, protocol, or a
+// verification mismatch from a stale or lying replica) quarantines the
+// follower with doubling jittered backoff and the read falls back to
+// the primary. None of this weakens the trust model: a replica's answer
+// is checked against the pinned root exactly like the primary's, so the
+// worst a bad follower can do is cost one failover.
+
+// Dial retry and quarantine defaults.
+const (
+	defaultDialTimeout = 5 * time.Second
+	defaultDialTries   = 3
+	defaultBackoffMin  = 50 * time.Millisecond
+	defaultBackoffMax  = 2 * time.Second
+
+	replicaBackoffMin = 100 * time.Millisecond
+	replicaBackoffMax = 5 * time.Second
+)
+
+// DialConfig configures how the client reaches a server. The zero value
+// gets sane defaults: 5s per attempt, 3 attempts, 50ms–2s jittered
+// backoff between them, no I/O deadline on the resulting connection.
+type DialConfig struct {
+	// Timeout bounds one dial attempt. <=0 selects the default.
+	Timeout time.Duration
+	// Attempts is the total number of dial attempts before giving up.
+	// <=0 selects the default; transient connection errors are retried,
+	// which is the difference between "the replica was restarting" and a
+	// failed query.
+	Attempts int
+	// BackoffMin/BackoffMax bound the jittered, doubling wait between
+	// attempts. <=0 selects the defaults.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// IOTimeout, when positive, bounds every round trip on the resulting
+	// connection (request write + response read): a server that accepts
+	// the dial and then wedges cannot pin the caller forever.
+	IOTimeout time.Duration
+	// DialFunc replaces the underlying dial, for tests that want to
+	// inject flaky transports. nil uses net.DialTimeout("tcp", ...).
+	DialFunc func(addr string) (net.Conn, error)
+}
+
+func (cfg DialConfig) withDefaults() DialConfig {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = defaultDialTimeout
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = defaultDialTries
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = defaultBackoffMin
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = defaultBackoffMax
+	}
+	return cfg
+}
+
+// jitter spreads d over [d/2, 3d/2) so a fleet of clients retrying the
+// same dead server does not reconverge in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// DialWithConfig connects to a server address with bounded retry: each
+// attempt gets cfg.Timeout, failed attempts back off with doubling
+// jittered waits, and the last attempt's error is reported with the
+// attempt count.
+func DialWithConfig(addr string, cfg DialConfig) (*Conn, error) {
+	cfg = cfg.withDefaults()
+	dial := cfg.DialFunc
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) { return net.DialTimeout("tcp", a, cfg.Timeout) }
+	}
+	backoff := cfg.BackoffMin
+	var lastErr error
+	for attempt := 0; attempt < cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(jitter(backoff))
+			if backoff *= 2; backoff > cfg.BackoffMax {
+				backoff = cfg.BackoffMax
+			}
+		}
+		nc, err := dial(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c := NewConn(nc)
+		c.ioTimeout = cfg.IOTimeout
+		return c, nil
+	}
+	return nil, fmt.Errorf("client: dialing %s: %d attempts failed: %w", addr, cfg.Attempts, lastErr)
+}
+
+// SetIOTimeout bounds every subsequent round trip on the connection
+// (request write + response read). Zero removes the bound.
+func (c *Conn) SetIOTimeout(d time.Duration) { c.ioTimeout = d }
+
+// LogChunk is one CmdShipLog answer: a slice of the primary's
+// write-ahead log plus the cursor bookkeeping a follower tails by.
+type LogChunk struct {
+	// Epoch names the log file the records belong to; it changes when
+	// the primary compacts.
+	Epoch uint64
+	// Start is the sequence of the first record in Records. When it (or
+	// Epoch) differs from the cursor the follower asked with, the
+	// follower's history is gone and it must reset and re-apply from
+	// Start.
+	Start uint64
+	// Head is the primary's record count; the follower is caught up when
+	// its cursor reaches it.
+	Head uint64
+	// Records are the shipped records, in log order.
+	Records []wire.LogRecord
+}
+
+// ShipLog requests log records from the follower's cursor (epoch, from),
+// with maxBytes bounding the answer (the server clamps it regardless).
+func (c *Conn) ShipLog(epoch, from uint64, maxBytes uint32) (*LogChunk, error) {
+	payload := wire.AppendU64(nil, epoch)
+	payload = wire.AppendU64(payload, from)
+	payload = wire.AppendU32(payload, maxBytes)
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdShipLog, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.RespLogChunk {
+		return nil, fmt.Errorf("client: unexpected response %#x to ship-log", resp.Type)
+	}
+	r := wire.NewBuffer(resp.Payload)
+	ch := &LogChunk{}
+	if ch.Epoch, err = r.U64(); err != nil {
+		return nil, fmt.Errorf("client: log chunk epoch: %w", err)
+	}
+	if ch.Start, err = r.U64(); err != nil {
+		return nil, fmt.Errorf("client: log chunk start: %w", err)
+	}
+	if ch.Head, err = r.U64(); err != nil {
+		return nil, fmt.Errorf("client: log chunk head: %w", err)
+	}
+	n, err := r.U32()
+	if err != nil {
+		return nil, fmt.Errorf("client: log chunk count: %w", err)
+	}
+	if int(n) > r.Remaining() {
+		return nil, fmt.Errorf("client: log chunk count %d exceeds remaining payload", n)
+	}
+	ch.Records = make([]wire.LogRecord, 0, n)
+	for i := uint32(0); i < n; i++ {
+		op, err := r.U8()
+		if err != nil {
+			return nil, fmt.Errorf("client: log record %d op: %w", i, err)
+		}
+		p, err := r.Bytes()
+		if err != nil {
+			return nil, fmt.Errorf("client: log record %d payload: %w", i, err)
+		}
+		ch.Records = append(ch.Records, wire.LogRecord{Op: op, Payload: p})
+	}
+	return ch, nil
+}
+
+// ReadStats counts where a DB's reads were served and how often replicas
+// failed, for observability and for the E18 failover drill.
+type ReadStats struct {
+	// ReplicaReads is the number of reads answered by a replica.
+	ReplicaReads uint64
+	// PrimaryReads is the number of reads answered by the primary.
+	PrimaryReads uint64
+	// Failovers is the number of reads that fell back to the primary
+	// despite configured replicas (all dead, quarantined, or failing).
+	Failovers uint64
+	// ReplicaFailures counts individual replica attempts that failed —
+	// transport errors, protocol errors, and verification mismatches
+	// (stale or Byzantine followers) alike.
+	ReplicaFailures uint64
+}
+
+// replicaState tracks one read replica's connection and health. A
+// failure closes the cached connection and quarantines the replica with
+// doubling jittered backoff; a success resets the backoff.
+type replicaState struct {
+	dial             func() (*Conn, error)
+	conn             *Conn
+	backoff          time.Duration
+	quarantinedUntil time.Time
+}
+
+func (r *replicaState) get() (*Conn, error) {
+	if r.conn != nil {
+		return r.conn, nil
+	}
+	c, err := r.dial()
+	if err != nil {
+		return nil, err
+	}
+	r.conn = c
+	return c, nil
+}
+
+func (r *replicaState) fail() {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+	if r.backoff <= 0 {
+		r.backoff = replicaBackoffMin
+	} else if r.backoff *= 2; r.backoff > replicaBackoffMax {
+		r.backoff = replicaBackoffMax
+	}
+	r.quarantinedUntil = time.Now().Add(jitter(r.backoff))
+}
+
+func (r *replicaState) ok() {
+	r.backoff = 0
+	r.quarantinedUntil = time.Time{}
+}
+
+// AddReplica registers a read replica by dial function (the seam tests
+// and in-memory transports use). Like the rest of DB, not safe for
+// concurrent use.
+func (db *DB) AddReplica(dial func() (*Conn, error)) {
+	db.replicas = append(db.replicas, &replicaState{dial: dial})
+}
+
+// AddReplicas registers TCP read replicas dialed with cfg.
+func (db *DB) AddReplicas(cfg DialConfig, addrs ...string) {
+	for _, addr := range addrs {
+		addr := addr
+		db.AddReplica(func() (*Conn, error) { return DialWithConfig(addr, cfg) })
+	}
+}
+
+// ReadStats returns the DB's read-routing counters.
+func (db *DB) ReadStats() ReadStats { return db.stats }
+
+// withRead runs one self-contained read: round-robin over healthy
+// replicas first, falling back to the primary when none answers. fn must
+// be a complete read — request, decode, AND verification — with side
+// effects only on success, so a failed replica attempt (including a
+// Byzantine answer caught by the pinned-root check) can be retried
+// elsewhere cleanly. The primary attempt's error is returned as-is: the
+// primary is the source of truth, and its verification failure is a real
+// alarm, not a routing event.
+func (db *DB) withRead(fn func(c *Conn) error) error {
+	n := len(db.replicas)
+	if n == 0 {
+		db.stats.PrimaryReads++
+		return fn(db.conn)
+	}
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		r := db.replicas[(db.rrNext+i)%n]
+		if now.Before(r.quarantinedUntil) {
+			continue
+		}
+		c, err := r.get()
+		if err != nil {
+			db.stats.ReplicaFailures++
+			r.fail()
+			continue
+		}
+		if err := fn(c); err != nil {
+			db.stats.ReplicaFailures++
+			r.fail()
+			continue
+		}
+		r.ok()
+		db.rrNext = (db.rrNext + i + 1) % n
+		db.stats.ReplicaReads++
+		return nil
+	}
+	db.stats.PrimaryReads++
+	db.stats.Failovers++
+	return fn(db.conn)
+}

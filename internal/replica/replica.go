@@ -1,0 +1,291 @@
+// Package replica implements the follower side of WAL shipping: a
+// read replica that tails a primary's write-ahead log over the wire
+// (CmdShipLog), replays the records into its own in-memory store, and
+// serves reads from it — typically behind a read-only server
+// (server.Options.ReadOnly), with mutations rejected locally.
+//
+// The follower's position is a cursor (epoch, seq): epoch names the
+// primary's current log file, seq counts records applied from it. The
+// primary answers every poll with (epoch, start, head) bookkeeping;
+// whenever epoch or start disagrees with the cursor — the primary
+// compacted its log, restarted into a fresh one, or never saw this
+// follower — the follower discards its state and re-applies from the
+// stream's start. The log is a total order from the empty store, so
+// re-bootstrap is always sound and there is no snapshot format: silent
+// divergence is structurally impossible, the worst case is repeated
+// work.
+//
+// Trust is the interesting part, and there is deliberately nothing
+// here: the follower applies whatever the primary ships, and makes no
+// claim of integrity. The client's pinned authenticated root does not
+// care which machine answered — replayed records produce bit-identical
+// tuple bytes, hence identical Merkle leaves, hence the primary's root.
+// A follower that is stale, corrupted, or lying produces a root
+// mismatch at the client, which quarantines it and fails over (see
+// internal/client's withRead). Replication adds read capacity, never
+// trusted parties.
+package replica
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/storage"
+)
+
+// Options tunes a Follower. The zero value gets sane defaults.
+type Options struct {
+	// PollInterval is the pause between polls once caught up (and after
+	// errors). <=0 selects 100ms. While behind, the follower polls
+	// continuously.
+	PollInterval time.Duration
+	// MaxBytes bounds one shipped chunk. <=0 selects 1MiB; the primary
+	// clamps hostile values regardless.
+	MaxBytes uint32
+	// Logf, when set, receives progress and error lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.PollInterval <= 0 {
+		o.PollInterval = 100 * time.Millisecond
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 1 << 20
+	}
+	return o
+}
+
+// Status is a snapshot of a follower's replication position.
+type Status struct {
+	// Epoch and Applied are the cursor: which primary log file the
+	// follower is on and how many of its records it has applied.
+	Epoch   uint64
+	Applied uint64
+	// Head is the primary's record count as of the last successful poll.
+	Head uint64
+	// CaughtUp reports whether the last poll found nothing to ship.
+	CaughtUp bool
+	// Resets counts re-bootstraps (primary compactions/restarts, apply
+	// failures). A busy primary makes this grow occasionally; growth on
+	// every poll means the follower cannot hold a cursor.
+	Resets uint64
+	// LastErr is the most recent poll error, nil when the last poll
+	// succeeded.
+	LastErr error
+}
+
+// Follower tails a primary and keeps an in-memory store in sync with
+// its log. Create with New, serve reads from Store(), stop with Close.
+type Follower struct {
+	store *storage.Store
+	dial  func() (*client.Conn, error)
+	opts  Options
+
+	mu       sync.Mutex
+	epoch    uint64
+	seq      uint64
+	head     uint64
+	caughtUp bool
+	resets   uint64
+	lastErr  error
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	done      chan struct{}
+}
+
+// New starts a follower polling the primary reached by dial. The dial
+// function is invoked whenever the follower needs a (re)connection —
+// pair it with client.DialWithConfig for bounded retry.
+func New(dial func() (*client.Conn, error), opts Options) *Follower {
+	f := &Follower{
+		store:  storage.NewMemory(),
+		dial:   dial,
+		opts:   opts.withDefaults(),
+		closed: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go f.run()
+	return f
+}
+
+// Store exposes the follower's replayed store, for serving reads (wrap
+// it in a read-only server; the follower itself never writes except by
+// replay).
+func (f *Follower) Store() *storage.Store { return f.store }
+
+// Status returns the follower's current replication position.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Status{
+		Epoch: f.epoch, Applied: f.seq, Head: f.head,
+		CaughtUp: f.caughtUp, Resets: f.resets, LastErr: f.lastErr,
+	}
+}
+
+// WaitCaughtUp blocks until a poll finds the follower level with the
+// primary's head, or the timeout expires.
+func (f *Follower) WaitCaughtUp(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		st := f.Status()
+		if st.CaughtUp && st.LastErr == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica: not caught up after %v (applied %d/%d, last error: %v)",
+				timeout, st.Applied, st.Head, st.LastErr)
+		}
+		select {
+		case <-f.closed:
+			return fmt.Errorf("replica: follower closed while waiting")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Close stops the poll loop and waits for it to exit.
+func (f *Follower) Close() {
+	f.closeOnce.Do(func() { close(f.closed) })
+	<-f.done
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}
+
+// sleep pauses for the poll interval, returning false when the follower
+// was closed meanwhile.
+func (f *Follower) sleep() bool {
+	select {
+	case <-f.closed:
+		return false
+	case <-time.After(f.opts.PollInterval):
+		return true
+	}
+}
+
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	f.lastErr = err
+	f.caughtUp = false
+	f.mu.Unlock()
+}
+
+// run is the poll loop: connect, ship from the cursor, apply, repeat —
+// continuously while behind, at PollInterval once level or after any
+// error. Transport errors drop the connection and redial; the cursor
+// survives, so a restarted primary (same log) resumes where shipping
+// stopped, and a rotated one resets the follower through the epoch
+// check.
+func (f *Follower) run() {
+	defer close(f.done)
+	var conn *client.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-f.closed:
+			return
+		default:
+		}
+		if conn == nil {
+			c, err := f.dial()
+			if err != nil {
+				f.setErr(fmt.Errorf("replica: dialing primary: %w", err))
+				if !f.sleep() {
+					return
+				}
+				continue
+			}
+			conn = c
+		}
+		f.mu.Lock()
+		epoch, seq := f.epoch, f.seq
+		f.mu.Unlock()
+		ch, err := conn.ShipLog(epoch, seq, f.opts.MaxBytes)
+		if err != nil {
+			f.setErr(fmt.Errorf("replica: shipping from (%d,%d): %w", epoch, seq, err))
+			f.logf("replica: poll failed, redialing: %v", err)
+			conn.Close()
+			conn = nil
+			if !f.sleep() {
+				return
+			}
+			continue
+		}
+		behind, err := f.apply(epoch, seq, ch)
+		if err != nil {
+			f.setErr(err)
+			f.logf("replica: %v", err)
+		}
+		if err != nil || !behind {
+			if !f.sleep() {
+				return
+			}
+		}
+	}
+}
+
+// apply folds one shipped chunk into the store. It returns whether the
+// follower is still behind (poll again immediately). A chunk whose
+// epoch or start disagrees with the cursor means the follower's history
+// is gone on the primary: the store is reset and the chunk applied from
+// the stream's start. A record that fails to apply resets too — the
+// cursor goes to (0, 0) so the next poll re-bootstraps — because a
+// partially applied log is the one state shipping must never hold.
+func (f *Follower) apply(epoch, seq uint64, ch *client.LogChunk) (behind bool, err error) {
+	if ch.Epoch != epoch || ch.Start != seq {
+		if ch.Start != 0 {
+			// The primary answered from a cursor this follower never held;
+			// force a clean bootstrap on the next poll.
+			f.reset(0, 0)
+			return true, fmt.Errorf("replica: primary answered from (%d,%d) to cursor (%d,%d); re-bootstrapping",
+				ch.Epoch, ch.Start, epoch, seq)
+		}
+		if epoch == 0 && seq == 0 {
+			// Virgin cursor adopting the primary's epoch: the first poll of
+			// a fresh follower, not a discard of applied state.
+			f.mu.Lock()
+			f.epoch = ch.Epoch
+			f.mu.Unlock()
+		} else {
+			f.logf("replica: cursor (%d,%d) rotated away (primary at epoch %d); re-bootstrapping", epoch, seq, ch.Epoch)
+			f.reset(ch.Epoch, 0)
+		}
+		epoch, seq = ch.Epoch, 0
+	}
+	for i, rec := range ch.Records {
+		if aerr := f.store.ApplyShipped(rec); aerr != nil {
+			f.reset(0, 0)
+			return true, fmt.Errorf("replica: applying record %d of (%d,%d): %w", i, ch.Epoch, ch.Start, aerr)
+		}
+		seq++
+	}
+	f.mu.Lock()
+	f.epoch, f.seq, f.head = epoch, seq, ch.Head
+	f.caughtUp = seq >= ch.Head
+	f.lastErr = nil
+	behind = !f.caughtUp
+	f.mu.Unlock()
+	return behind, nil
+}
+
+// reset discards the replayed state and moves the cursor.
+func (f *Follower) reset(epoch, seq uint64) {
+	f.store.Reset()
+	f.mu.Lock()
+	f.epoch, f.seq, f.head = epoch, seq, 0
+	f.caughtUp = false
+	f.resets++
+	f.mu.Unlock()
+}

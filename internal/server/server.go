@@ -28,6 +28,14 @@
 // same snapshot, or just the plan (explain). This moves *where* the
 // intersection happens, not what Eve learns: per-conjunct access
 // patterns are her view either way.
+//
+// Operationally the server takes Options for robustness under hostile
+// or flaky peers — per-connection idle and write deadlines, a
+// connection cap, an inflight cap with a service-time floor (the
+// capacity model experiment E18 leans on) — and for running as a read
+// replica: ReadOnly rejects mutations, and CmdShipLog serves the
+// store's write-ahead log to followers (internal/replica) so read
+// capacity scales out without adding trusted parties.
 package server
 
 import (
@@ -38,6 +46,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/authindex"
 	"repro/internal/ph"
@@ -47,10 +56,47 @@ import (
 	"repro/internal/wire"
 )
 
+// Options configure a server's robustness limits and its role. The zero
+// value preserves the historical behaviour: a writable server with no
+// deadlines and no connection cap.
+type Options struct {
+	// ReadOnly rejects every mutating command (store, insert, drop) with
+	// an error naming the primary as the write path. Replicas serve with
+	// this set: their state is the shipped log, and a write accepted
+	// locally would silently fork it.
+	ReadOnly bool
+	// IdleTimeout bounds how long ServeConn waits for the next request
+	// frame (and for the rest of a half-received one). A peer that goes
+	// quiet — a wedged client, a half-open TCP connection — is reaped
+	// instead of pinning a goroutine and a connection slot forever.
+	// Zero means wait forever.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response frame. Zero means no limit.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections; past it, Serve
+	// closes new connections immediately (the client sees EOF and can
+	// retry elsewhere — failing fast beats queueing behind a full house).
+	// Zero means no cap.
+	MaxConns int
+	// MaxInflight caps requests executing concurrently across all
+	// connections; excess requests queue at the semaphore in arrival
+	// order. Zero means no cap.
+	MaxInflight int
+	// MinServiceTime, when positive, is a per-request service-time floor
+	// applied inside the inflight slot. With MaxInflight it turns the
+	// server into a fixed-capacity node — requests/sec is bounded by
+	// MaxInflight/MinServiceTime regardless of how fast the host CPU is —
+	// which is what lets capacity experiments (E18) measure scaling
+	// deterministically on any machine. Not for production serving.
+	MinServiceTime time.Duration
+}
+
 // Server is one service-provider instance.
 type Server struct {
-	store  *storage.Store
-	logger *log.Logger
+	store    *storage.Store
+	logger   *log.Logger
+	opts     Options
+	inflight chan struct{} // MaxInflight semaphore; nil when uncapped
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -62,10 +108,20 @@ type Server struct {
 // New creates a server over the given store. logger may be nil to discard
 // diagnostics.
 func New(store *storage.Store, logger *log.Logger) *Server {
+	return NewWithOptions(store, logger, Options{})
+}
+
+// NewWithOptions creates a server over the given store with explicit
+// robustness options. logger may be nil to discard diagnostics.
+func NewWithOptions(store *storage.Store, logger *log.Logger, opts Options) *Server {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
-	return &Server{store: store, logger: logger, conns: make(map[net.Conn]struct{})}
+	s := &Server{store: store, logger: logger, opts: opts, conns: make(map[net.Conn]struct{})}
+	if opts.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInflight)
+	}
+	return s
 }
 
 // Serve accepts connections on l until Close is called. It blocks.
@@ -93,6 +149,12 @@ func (s *Server) Serve(l net.Listener) error {
 			s.mu.Unlock()
 			conn.Close()
 			return nil
+		}
+		if s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns {
+			s.mu.Unlock()
+			s.logger.Printf("server: connection %s refused: at MaxConns=%d", conn.RemoteAddr(), s.opts.MaxConns)
+			conn.Close()
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
@@ -155,6 +217,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 		wire.PutBuf(encBuf)
 	}()
 	for {
+		// The idle deadline covers the wait for the next frame AND the
+		// frame's own bytes: a peer that wedges mid-frame is as stuck as
+		// one that never speaks, and both must release this goroutine.
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
 		f, buf, err := wire.ReadFrameReuse(r, readBuf)
 		readBuf = buf
 		if err != nil {
@@ -163,7 +231,10 @@ func (s *Server) ServeConn(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.dispatch(f, encBuf[:0])
+		resp := s.serveRequest(f, encBuf[:0])
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
 		if err := wire.WriteFrame(w, resp); err != nil {
 			s.logger.Printf("server: connection %s: %v", conn.RemoteAddr(), err)
 			return
@@ -179,6 +250,26 @@ func (s *Server) ServeConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// serveRequest wraps dispatch with the capacity controls: the inflight
+// semaphore (requests past MaxInflight queue here in arrival order) and
+// the MinServiceTime floor, which is slept inside the slot so a node's
+// throughput ceiling is MaxInflight/MinServiceTime by construction.
+func (s *Server) serveRequest(f wire.Frame, scratch []byte) wire.Frame {
+	if s.inflight != nil {
+		s.inflight <- struct{}{}
+		defer func() { <-s.inflight }()
+	}
+	if s.opts.MinServiceTime <= 0 {
+		return s.dispatch(f, scratch)
+	}
+	start := time.Now()
+	resp := s.dispatch(f, scratch)
+	if d := time.Since(start); d < s.opts.MinServiceTime {
+		time.Sleep(s.opts.MinServiceTime - d)
+	}
+	return resp
 }
 
 // queryBatch evaluates a batch of queries against one table. The fanout is
@@ -263,6 +354,12 @@ func (s *Server) dispatch(f wire.Frame, scratch []byte) wire.Frame {
 // handle implements the command set. Response payloads build on scratch.
 func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 	r := wire.NewBuffer(f.Payload)
+	if s.opts.ReadOnly {
+		switch f.Type {
+		case wire.CmdStore, wire.CmdInsert, wire.CmdInsertStamped, wire.CmdDrop:
+			return wire.Frame{}, fmt.Errorf("server: read-only replica: mutations go to the primary")
+		}
+	}
 	switch f.Type {
 	case wire.CmdStore:
 		name, err := r.String()
@@ -484,6 +581,38 @@ func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 			}
 		}
 		return wire.Frame{Type: wire.RespResultConj, Payload: query.EncodeResponse(scratch, resp)}, nil
+
+	case wire.CmdShipLog:
+		// Log shipping for read replicas: answer with records of the
+		// current log file from the follower's cursor. The store clamps
+		// everything hostile — an unknown epoch or a sequence past the
+		// head serves the bootstrap stream, and the byte budget caps the
+		// answer regardless of what the peer asked for.
+		reqEpoch, err := r.U64()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		from, err := r.U64()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		maxBytes, err := r.U32()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		recs, epoch, start, head, err := s.store.ReadLog(reqEpoch, from, maxBytes)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		payload := wire.AppendU64(scratch, epoch)
+		payload = wire.AppendU64(payload, start)
+		payload = wire.AppendU64(payload, head)
+		payload = wire.AppendU32(payload, uint32(len(recs)))
+		for _, rec := range recs {
+			payload = wire.AppendU8(payload, rec.Op)
+			payload = wire.AppendBytes(payload, rec.Payload)
+		}
+		return wire.Frame{Type: wire.RespLogChunk, Payload: payload}, nil
 
 	default:
 		return wire.Frame{}, fmt.Errorf("server: unknown command %#x", f.Type)

@@ -1,0 +1,359 @@
+package storage
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/ph"
+	"repro/internal/wire"
+)
+
+// Log shipping: the surface a read replica tails a primary through
+// (internal/replica drives it over wire.CmdShipLog).
+//
+// The write-ahead log is already a total order of mutations starting
+// from the empty store, so a follower needs no snapshot format: it
+// bootstraps by replaying the current file from record 0 and stays
+// current by polling for records past its cursor. A cursor is the pair
+// (epoch, seq): seq indexes records of the current log file, and the
+// epoch — a random identifier persisted in a sidecar next to the log —
+// names which file that sequence space belongs to. Compact rewrites the
+// file, making old sequence numbers meaningless, so it rotates the
+// epoch; a follower presenting a cursor from a rotated (or otherwise
+// unknown) epoch is answered from (currentEpoch, 0) and re-bootstraps
+// instead of silently diverging.
+//
+// Trust model: replication adds nothing for Eve to learn — shipped
+// records are the ciphertext mutations the client already sent — and a
+// follower needs no integrity protocol of its own, because a replica
+// that replays the same records through the same mutation paths builds
+// the same Merkle roots, and the client verifies every replica answer
+// against its pinned root exactly as it does the primary's.
+
+// epochSuffix names the sidecar file holding the log's shipping epoch.
+const epochSuffix = ".epoch"
+
+// maxShipRecords bounds the records one ReadLog answer carries,
+// whatever byte budget the (untrusted, possibly hostile) peer asked
+// for.
+const maxShipRecords = 4096
+
+// randomEpoch draws a fresh nonzero epoch identifier.
+func randomEpoch() (uint64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("storage: drawing log epoch: %w", err)
+	}
+	e := binary.BigEndian.Uint64(b[:])
+	if e == 0 {
+		e = 1 // 0 is reserved for in-memory stores (no log to ship)
+	}
+	return e, nil
+}
+
+// writeEpoch persists the epoch sidecar for the log at path, through a
+// temp file, fsync and rename so the sidecar is never half-written.
+func writeEpoch(path string, epoch uint64) error {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], epoch)
+	tmp := path + epochSuffix + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return fmt.Errorf("storage: creating epoch sidecar: %w", err)
+	}
+	if _, err := f.Write(b[:]); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: writing epoch sidecar: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: syncing epoch sidecar: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: closing epoch sidecar: %w", err)
+	}
+	if err := os.Rename(tmp, path+epochSuffix); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: installing epoch sidecar: %w", err)
+	}
+	return nil
+}
+
+// loadEpoch reads the log's epoch sidecar, minting (and persisting) a
+// fresh epoch when there is none or its contents are unusable. A lost
+// sidecar therefore just looks like a rotation: followers re-bootstrap.
+func loadEpoch(path string) (uint64, error) {
+	b, err := os.ReadFile(path + epochSuffix)
+	if err == nil && len(b) == 8 {
+		if e := binary.BigEndian.Uint64(b); e != 0 {
+			return e, nil
+		}
+	}
+	if err != nil && !os.IsNotExist(err) {
+		return 0, fmt.Errorf("storage: reading epoch sidecar: %w", err)
+	}
+	e, err := randomEpoch()
+	if err != nil {
+		return 0, err
+	}
+	if err := writeEpoch(path, e); err != nil {
+		return 0, err
+	}
+	return e, nil
+}
+
+// LogEpoch returns the current log-shipping epoch (0 for in-memory
+// stores, which have no log to ship).
+func (s *Store) LogEpoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// LogHead returns the current epoch and the log's record count — the
+// cursor at which a follower is caught up. Zero values for in-memory
+// stores.
+func (s *Store) LogHead() (epoch, head uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.wal == nil {
+		return 0, 0
+	}
+	return s.epoch, s.wal.records()
+}
+
+// ReadLog serves one log-shipping poll: records of the current log file
+// starting at the cursor (reqEpoch, from), at most maxBytes of payload
+// (clamped; at least one record is shipped when any is available, so a
+// single huge record cannot stall a follower forever). It returns the
+// epoch and start sequence actually served, plus the log's record head.
+// A cursor ReadLog cannot honour — a rotated epoch, or a sequence past
+// the head — is answered from (currentEpoch, 0), telling the follower
+// to re-bootstrap; a follower therefore resets whenever the reply's
+// epoch or start differs from its cursor.
+//
+// Concurrency: the epoch is read under the store's read lock before and
+// after the file scan. Compact holds the store lock exclusively across
+// its file swap and epoch bump, so equal epochs either side of the scan
+// prove the bytes scanned all belong to the file the cursor names; on a
+// mismatch the scan is discarded and the follower told to reset. The
+// scan itself runs on a private read handle with no store lock held, so
+// shipping never blocks queries or mutations. Racing appends are safe:
+// the scanner stops at the first torn or CRC-failing record, and the
+// head it reports never exceeds what the writer had accepted at lock
+// time.
+func (s *Store) ReadLog(reqEpoch, from uint64, maxBytes uint32) (recs []wire.LogRecord, epoch, start, head uint64, err error) {
+	s.mu.RLock()
+	if s.wal == nil {
+		s.mu.RUnlock()
+		return nil, 0, 0, 0, fmt.Errorf("storage: in-memory store has no log to ship")
+	}
+	e1 := s.epoch
+	head = s.wal.records()
+	if reqEpoch != e1 || from > head {
+		from = 0 // rotated or bogus cursor: serve the bootstrap stream
+	}
+	start = from
+	f, err := os.Open(s.path)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("storage: opening log for shipping: %w", err)
+	}
+	defer f.Close()
+
+	// Resume at the cached byte offset when the cursor matches; offsets
+	// are only valid within one epoch, and a stale one past a torn-tail
+	// truncation just reads EOF and ships nothing this round.
+	off, skip := int64(0), from
+	s.shipMu.Lock()
+	if s.shipEpoch == e1 && s.shipSeq == from {
+		off, skip = s.shipOff, 0
+	}
+	s.shipMu.Unlock()
+
+	want := head - from
+	if want > maxShipRecords {
+		want = maxShipRecords
+	}
+	recs, nextOff := scanShipRecords(f, off, skip, want, maxBytes)
+
+	// Re-check the epoch: if Compact swapped the file mid-scan, the bytes
+	// read may straddle two files. Discard and tell the follower to
+	// re-bootstrap against the new epoch.
+	s.mu.RLock()
+	e2 := s.epoch
+	head2 := s.wal.records()
+	s.mu.RUnlock()
+	if e2 != e1 {
+		return nil, e2, 0, head2, nil
+	}
+	if len(recs) > 0 {
+		s.shipMu.Lock()
+		s.shipEpoch, s.shipSeq, s.shipOff = e1, from+uint64(len(recs)), nextOff
+		s.shipMu.Unlock()
+	}
+	return recs, e1, start, head, nil
+}
+
+// scanShipRecords parses up to want records from the log file starting
+// at byte offset off, first skipping skip records, stopping early once
+// maxBytes of payload are exceeded (but never before the first record).
+// Anything unparsable — a torn header, a CRC mismatch, a concurrent
+// append's half-written tail — ends the scan; the follower just gets a
+// shorter chunk and polls again. nextOff is the byte offset one past
+// the last record returned.
+func scanShipRecords(f *os.File, off int64, skip, want uint64, maxBytes uint32) (recs []wire.LogRecord, nextOff int64) {
+	if want == 0 {
+		return nil, off
+	}
+	budget := int64(maxBytes)
+	if budget <= 0 {
+		budget = 1
+	}
+	br := bufio.NewReaderSize(io.NewSectionReader(f, off, 1<<62), 1<<16)
+	nextOff = off
+	var spent int64
+	for uint64(len(recs)) < want {
+		first, err := br.ReadByte()
+		if err != nil {
+			return recs, nextOff
+		}
+		var op byte
+		var payload []byte
+		var recLen int64
+		if first == walMagic {
+			var hdr [walV1HdrLen - 1]byte // op, len, crc
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				return recs, nextOff
+			}
+			n := binary.BigEndian.Uint32(hdr[1:5])
+			if n > wire.MaxFrameSize {
+				return recs, nextOff
+			}
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return recs, nextOff
+			}
+			crc := crc32.Update(0, castagnoli, hdr[:5])
+			crc = crc32.Update(crc, castagnoli, payload)
+			if crc != binary.BigEndian.Uint32(hdr[5:9]) {
+				return recs, nextOff
+			}
+			op = hdr[0]
+			recLen = walV1HdrLen + int64(n)
+		} else {
+			// Legacy v0: first is the leading byte of the length.
+			var rest [walV0HdrLen - 1]byte // len[1:4], op
+			if _, err := io.ReadFull(br, rest[:]); err != nil {
+				return recs, nextOff
+			}
+			n := uint32(first)<<24 | uint32(rest[0])<<16 | uint32(rest[1])<<8 | uint32(rest[2])
+			if n > wire.MaxFrameSize {
+				return recs, nextOff
+			}
+			op = rest[3]
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return recs, nextOff
+			}
+			recLen = walV0HdrLen + int64(n)
+		}
+		if skip > 0 {
+			skip--
+			nextOff += recLen
+			continue
+		}
+		if len(recs) > 0 && spent+recLen > budget {
+			return recs, nextOff
+		}
+		recs = append(recs, wire.LogRecord{Op: op, Payload: payload})
+		spent += recLen
+		nextOff += recLen
+	}
+	return recs, nextOff
+}
+
+// ApplyShipped applies one shipped log record through the store's
+// normal mutation paths — Put, Append, Drop — so locking, versioning,
+// cache invalidation and incremental authenticated-index maintenance
+// all behave exactly as if the mutation arrived from a client. That is
+// what makes a follower's Merkle roots bit-identical to the primary's:
+// same tuple bytes, same leaf hashes, same tree. Any error (malformed
+// payload, insert into a table the follower does not have) means the
+// follower's view has diverged and it must re-bootstrap.
+func (s *Store) ApplyShipped(rec wire.LogRecord) error {
+	r := wire.NewBuffer(rec.Payload)
+	switch rec.Op {
+	case opStore:
+		name, err := r.String()
+		if err != nil {
+			return fmt.Errorf("storage: shipped store record: %w", err)
+		}
+		t, err := wire.DecodeTable(r)
+		if err != nil {
+			return fmt.Errorf("storage: shipped store record: %w", err)
+		}
+		return s.Put(name, t)
+	case opInsert:
+		name, err := r.String()
+		if err != nil {
+			return fmt.Errorf("storage: shipped insert record: %w", err)
+		}
+		n, err := r.U32()
+		if err != nil {
+			return fmt.Errorf("storage: shipped insert record: %w", err)
+		}
+		if int(n) > r.Remaining() {
+			return fmt.Errorf("storage: shipped insert record: tuple count %d exceeds payload", n)
+		}
+		tuples := make([]ph.EncryptedTuple, 0, n)
+		for i := uint32(0); i < n; i++ {
+			tp, err := wire.DecodeTuple(r)
+			if err != nil {
+				return fmt.Errorf("storage: shipped insert record tuple %d: %w", i, err)
+			}
+			tuples = append(tuples, tp)
+		}
+		return s.Append(name, tuples)
+	case opDrop:
+		name, err := r.String()
+		if err != nil {
+			return fmt.Errorf("storage: shipped drop record: %w", err)
+		}
+		return s.Drop(name)
+	default:
+		return fmt.Errorf("storage: shipped record has unknown op %#x", rec.Op)
+	}
+}
+
+// Reset drops every table and cached result, returning the store to
+// empty. It exists for replica (in-memory) stores that must re-bootstrap
+// after a primary log rotation; a durable store refuses — its log is the
+// source of truth and resetting memory out from under it would fork the
+// two.
+func (s *Store) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		return fmt.Errorf("storage: refusing to reset a durable store")
+	}
+	for _, e := range s.tables {
+		e.mu.Lock()
+		e.stale = true
+		e.mu.Unlock()
+	}
+	s.tables = make(map[string]*tableEntry)
+	if s.cache != nil {
+		s.cache = cache.New(0)
+	}
+	return nil
+}

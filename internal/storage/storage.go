@@ -67,11 +67,21 @@
 // read-locked snapshot — mutually consistent by construction. Put and
 // Drop retire the tree with the entry they retire; Compact leaves tuples
 // (and therefore trees) untouched.
+//
+// Log shipping: the WAL doubles as the replication stream. ReadLog
+// serves records to followers from an (epoch, seq) cursor — epoch names
+// the current log file via a fsynced sidecar, rotated by Compact so a
+// follower whose cursor predates the rotation is told to re-bootstrap
+// rather than silently diverge — and ApplyShipped replays shipped
+// records through the normal Put/Append/Drop, producing bit-identical
+// tuples and therefore the primary's Merkle roots. See ship.go and
+// internal/replica for the follower side.
 package storage
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -173,12 +183,23 @@ func (e *tableEntry) catchUpTree() {
 
 // Store is the server-side catalogue of encrypted tables.
 type Store struct {
-	mu     sync.RWMutex // guards tables (the map itself) and cache ptr
+	mu     sync.RWMutex // guards tables (the map itself), cache ptr and epoch
 	tables map[string]*tableEntry
 	wal    *walWriter // immutable after Open; nil for pure in-memory stores
 	path   string
 	clock  atomic.Uint64 // monotonic version source for all tables
 	cache  *cache.Cache  // nil disables result caching
+
+	// epoch identifies the current log file's record sequence space for
+	// log shipping (see ship.go): loaded from the sidecar on open, rotated
+	// by Compact under the exclusive store lock, 0 for in-memory stores.
+	epoch uint64
+	// shipMu guards the ReadLog cursor→byte-offset cache, which lets a
+	// tailing follower resume at its cursor without rescanning the file.
+	shipMu    sync.Mutex
+	shipEpoch uint64
+	shipSeq   uint64
+	shipOff   int64
 }
 
 // NewMemory creates a volatile in-memory store with result caching
@@ -203,9 +224,15 @@ func OpenOptions(path string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("storage: invalid sync policy %v", opts.Sync)
 	}
 	s := &Store{tables: make(map[string]*tableEntry), path: path, cache: cache.New(0)}
-	if err := s.replay(path); err != nil {
+	recs, err := s.replay(path)
+	if err != nil {
 		return nil, err
 	}
+	epoch, err := loadEpoch(path)
+	if err != nil {
+		return nil, err
+	}
+	s.epoch = epoch
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("storage: opening log %s: %w", path, err)
@@ -215,7 +242,7 @@ func OpenOptions(path string, opts Options) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: stat log %s: %w", path, err)
 	}
-	s.wal = newWALWriter(f, info.Size(), opts)
+	s.wal = newWALWriter(f, info.Size(), recs, opts)
 	return s, nil
 }
 
@@ -292,18 +319,21 @@ func (s *Store) CacheStats() cache.Stats {
 // byte is ever misapplied. v1 records that verify but fail to apply are
 // a hard error (they indicate a format from a newer version, not
 // corruption); unverifiable legacy v0 records that fail to apply are
-// treated as corruption and truncated.
-func (s *Store) replay(path string) error {
+// treated as corruption and truncated. The returned count — how many
+// records survived — seeds the log-shipping sequence (a follower's cursor
+// indexes records of the current file).
+func (s *Store) replay(path string) (uint64, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("storage: opening log %s for replay: %w", path, err)
+		return 0, fmt.Errorf("storage: opening log %s for replay: %w", path, err)
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
 	var validOffset int64
+	var recs uint64
 scan:
 	for {
 		first, err := br.ReadByte()
@@ -334,7 +364,7 @@ scan:
 			op = hdr[0]
 			recLen = walV1HdrLen + int64(n)
 			if err := s.applyRecord(op, payload); err != nil {
-				return fmt.Errorf("storage: replaying log %s at offset %d: %w", path, validOffset, err)
+				return 0, fmt.Errorf("storage: replaying log %s at offset %d: %w", path, validOffset, err)
 			}
 		} else {
 			// Legacy v0: first is the leading byte of the length.
@@ -357,19 +387,20 @@ scan:
 			}
 		}
 		validOffset += recLen
+		recs++
 	}
 	// Truncate any torn or corrupt tail so the next append starts at a
 	// clean boundary.
 	info, err := os.Stat(path)
 	if err != nil {
-		return fmt.Errorf("storage: stat log %s: %w", path, err)
+		return 0, fmt.Errorf("storage: stat log %s: %w", path, err)
 	}
 	if info.Size() > validOffset {
 		if err := os.Truncate(path, validOffset); err != nil {
-			return fmt.Errorf("storage: truncating torn log tail of %s: %w", path, err)
+			return 0, fmt.Errorf("storage: truncating torn log tail of %s: %w", path, err)
 		}
 	}
-	return nil
+	return recs, nil
 }
 
 // applyRecord applies one replayed record to the in-memory state. Replay
@@ -949,14 +980,40 @@ func (s *Store) Compact() error {
 	if err := tmp.Sync(); err != nil {
 		return abort(fmt.Errorf("storage: syncing compacted log: %w", err))
 	}
+	// Rotate the log-shipping epoch BEFORE the swap: a follower cursor
+	// minted against the old file must never resolve into the compacted
+	// one (same sequence number, different record). The sidecar is
+	// written and fsynced first, so a crash between the two steps leaves
+	// a new epoch over the old log — followers re-bootstrap needlessly,
+	// which is safe; the reverse order could pair the old epoch with the
+	// new file, which silently diverges.
+	newEpoch, err := randomEpoch()
+	if err != nil {
+		return abort(err)
+	}
+	if err := writeEpoch(s.path, newEpoch); err != nil {
+		return abort(err)
+	}
 	if err := os.Rename(tmpPath, s.path); err != nil {
 		return abort(fmt.Errorf("storage: swapping compacted log: %w", err))
 	}
 	// The already-open handle follows the inode across the rename, so
 	// the store never holds a closed or dangling log, whatever failed
 	// above. installFile releases any group-commit waiters (their
-	// records are superseded by the compacted, fsynced file).
-	return s.wal.installFile(tmp, size)
+	// records are superseded by the compacted, fsynced file) and restarts
+	// the shipping sequence at the compacted record count.
+	ierr := s.wal.installFile(tmp, size, uint64(len(names)))
+	if errors.Is(ierr, errLogClosed) {
+		return ierr
+	}
+	// The swap happened: publish the new epoch (we hold s.mu exclusively,
+	// which is what serialises this against ReadLog's epoch reads) and
+	// point the ship cursor cache at the new file's origin.
+	s.epoch = newEpoch
+	s.shipMu.Lock()
+	s.shipEpoch, s.shipSeq, s.shipOff = newEpoch, 0, 0
+	s.shipMu.Unlock()
+	return ierr
 }
 
 // LogSize returns the byte size of the persistence log, or 0 for in-memory

@@ -146,15 +146,19 @@ type walWriter struct {
 	policy   SyncPolicy
 	interval time.Duration
 
-	mu      sync.Mutex // guards f, pending/spare/scratch, off, wseq, closed, werr
+	mu      sync.Mutex // guards f, pending/spare/scratch, off, wseq, recs, closed, werr
 	f       logFile
 	pending []byte // staged v1 records awaiting the next group flush (SyncAlways)
 	spare   []byte // double-buffer the flusher swaps in for pending
 	scratch []byte // reused framing buffer for the direct-write policies
 	off     int64  // bytes known fully written to f (for torn-write repair)
-	wseq    uint64 // records accepted (staged or written)
-	closed  bool
-	werr    error // sticky: the log lost a record and can no longer be trusted
+	wseq    uint64 // records accepted (staged or written) this process lifetime
+	recs    uint64 // records in the current log file (replayed + accepted);
+	// unlike wseq it survives restarts (seeded from replay) and resets on
+	// Compact, so it is the log-shipping sequence space: a follower's
+	// cursor indexes records of the current file, not of this process.
+	closed bool
+	werr   error // sticky: the log lost a record and can no longer be trusted
 
 	sm      sync.Mutex // guards sseq, syncing, barrier, serr
 	scond   *sync.Cond
@@ -170,9 +174,10 @@ type walWriter struct {
 }
 
 // newWALWriter wraps an opened log file positioned for appends. size is
-// the file's current byte length.
-func newWALWriter(f logFile, size int64, opts Options) *walWriter {
-	w := &walWriter{policy: opts.Sync, interval: opts.SyncInterval, f: f, off: size}
+// the file's current byte length; recs is the number of records already
+// in it (counted by replay), which seeds the log-shipping sequence.
+func newWALWriter(f logFile, size int64, recs uint64, opts Options) *walWriter {
+	w := &walWriter{policy: opts.Sync, interval: opts.SyncInterval, f: f, off: size, recs: recs}
 	if w.interval <= 0 {
 		w.interval = DefaultSyncInterval
 	}
@@ -223,6 +228,7 @@ func (w *walWriter) write(op byte, payload []byte) (uint64, error) {
 	if w.policy == SyncAlways {
 		w.pending = appendWALRecord(w.pending, op, payload)
 		w.wseq++
+		w.recs++
 		return w.wseq, nil
 	}
 	w.scratch = appendWALRecord(w.scratch[:0], op, payload)
@@ -230,7 +236,16 @@ func (w *walWriter) write(op byte, payload []byte) (uint64, error) {
 		return 0, err
 	}
 	w.wseq++
+	w.recs++
 	return w.wseq, nil
+}
+
+// records returns the log-shipping head: how many records the current
+// log file holds once everything accepted reaches it.
+func (w *walWriter) records() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.recs
 }
 
 // writeLocked writes buf to the file, maintaining the known-good offset
@@ -395,8 +410,9 @@ func (w *walWriter) syncNow() error {
 // all waiters are released as durable, and sticky errors are cleared —
 // compaction un-bricks a store whose old log failed. The old file is
 // closed; a failure to close it is returned but leaves the store fully
-// usable on the new log.
-func (w *walWriter) installFile(f logFile, size int64) error {
+// usable on the new log. recs is the new file's record count, which
+// restarts the log-shipping sequence space.
+func (w *walWriter) installFile(f logFile, size int64, recs uint64) error {
 	w.sm.Lock()
 	w.barrier = true
 	for w.syncing {
@@ -417,6 +433,7 @@ func (w *walWriter) installFile(f logFile, size int64) error {
 	old := w.f
 	w.f = f
 	w.off = size
+	w.recs = recs
 	w.pending = w.pending[:0]
 	w.werr = nil
 	seq := w.wseq

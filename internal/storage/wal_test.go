@@ -73,7 +73,7 @@ func (f *fakeLogFile) Close() error {
 // ordering check exact even with concurrent writers.
 func TestWALSyncBeforeAck(t *testing.T) {
 	f := &fakeLogFile{syncDelay: time.Millisecond}
-	w := newWALWriter(f, 0, Options{Sync: SyncAlways})
+	w := newWALWriter(f, 0, 0, Options{Sync: SyncAlways})
 	payload := make([]byte, 32)
 	recLen := int64(walV1HdrLen + len(payload))
 
@@ -129,7 +129,7 @@ func TestWALSyncBeforeAck(t *testing.T) {
 // the naive baseline E15 compares group commit against.
 func TestWALSingleWriterAlwaysSyncsEachRecord(t *testing.T) {
 	f := &fakeLogFile{}
-	w := newWALWriter(f, 0, Options{Sync: SyncAlways})
+	w := newWALWriter(f, 0, 0, Options{Sync: SyncAlways})
 	for i := 0; i < 10; i++ {
 		seq, err := w.write(opInsert, []byte{1, 2, 3})
 		if err != nil {
@@ -148,7 +148,7 @@ func TestWALSingleWriterAlwaysSyncsEachRecord(t *testing.T) {
 // and the record still reaches the OS (the fake) before the ack.
 func TestWALNeverPolicy(t *testing.T) {
 	f := &fakeLogFile{}
-	w := newWALWriter(f, 0, Options{Sync: SyncNever})
+	w := newWALWriter(f, 0, 0, Options{Sync: SyncNever})
 	seq, err := w.write(opInsert, []byte{9})
 	if err != nil {
 		t.Fatal(err)
@@ -174,7 +174,7 @@ func TestWALNeverPolicy(t *testing.T) {
 // eventually syncs what was written.
 func TestWALIntervalPolicy(t *testing.T) {
 	f := &fakeLogFile{}
-	w := newWALWriter(f, 0, Options{Sync: SyncInterval, SyncInterval: time.Millisecond})
+	w := newWALWriter(f, 0, 0, Options{Sync: SyncInterval, SyncInterval: time.Millisecond})
 	seq, err := w.write(opInsert, []byte{7})
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +206,7 @@ func TestWALIntervalPolicy(t *testing.T) {
 // TestWALWriteAfterCloseFails pins that a closed log refuses mutations
 // instead of silently dropping them (the pre-WAL store no-op'd).
 func TestWALWriteAfterCloseFails(t *testing.T) {
-	w := newWALWriter(&fakeLogFile{}, 0, Options{Sync: SyncNever})
+	w := newWALWriter(&fakeLogFile{}, 0, 0, Options{Sync: SyncNever})
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestWALWriteAfterCloseFails(t *testing.T) {
 // the log stays parseable, and the writer keeps accepting records.
 func TestWALTornWriteRepaired(t *testing.T) {
 	f := &fakeLogFile{}
-	w := newWALWriter(f, 0, Options{Sync: SyncNever})
+	w := newWALWriter(f, 0, 0, Options{Sync: SyncNever})
 	if _, err := w.write(opInsert, []byte{1, 2, 3, 4}); err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestWALTornWriteRepaired(t *testing.T) {
 // otherwise the bounded loss window silently becomes unbounded.
 func TestWALIntervalSyncFailureSurfaces(t *testing.T) {
 	f := &fakeLogFile{failSync: errors.New("enospc")}
-	w := newWALWriter(f, 0, Options{Sync: SyncInterval, SyncInterval: time.Millisecond})
+	w := newWALWriter(f, 0, 0, Options{Sync: SyncInterval, SyncInterval: time.Millisecond})
 	defer w.Close()
 	if _, err := w.write(opInsert, []byte{1}); err != nil {
 		t.Fatal(err) // nothing has failed yet
@@ -267,7 +267,7 @@ func TestWALIntervalSyncFailureSurfaces(t *testing.T) {
 // silently truncated away on the next open.
 func TestWALOversizedRecordRejected(t *testing.T) {
 	f := &fakeLogFile{}
-	w := newWALWriter(f, 0, Options{Sync: SyncNever})
+	w := newWALWriter(f, 0, 0, Options{Sync: SyncNever})
 	defer w.Close()
 	if _, err := w.write(opInsert, make([]byte, wire.MaxFrameSize+1)); err == nil {
 		t.Fatal("oversized record accepted")
@@ -286,7 +286,7 @@ func TestWALOversizedRecordRejected(t *testing.T) {
 // staging them into a buffer no sync will ever drain.
 func TestWALSyncErrorSticky(t *testing.T) {
 	f := &fakeLogFile{failSync: errors.New("io error")}
-	w := newWALWriter(f, 0, Options{Sync: SyncAlways})
+	w := newWALWriter(f, 0, 0, Options{Sync: SyncAlways})
 	seq, err := w.write(opInsert, []byte{1})
 	if err != nil {
 		t.Fatal(err)

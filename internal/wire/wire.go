@@ -72,6 +72,17 @@ const (
 	// with ConjFlagVerified the intersection travels with inclusion
 	// proofs, root, leaf count and version from the same snapshot.
 	CmdQueryConj byte = 0x0C
+	// CmdShipLog tails the server's write-ahead log (replication;
+	// internal/replica). Payload: epoch:u64 | from:u64 | maxBytes:u32 —
+	// the follower's cursor (log epoch and record sequence) plus a byte
+	// budget for the answer. The server replies with RespLogChunk
+	// starting at the cursor; a cursor from a rotated log (epoch
+	// mismatch, or a sequence past the log's head) is answered from
+	// (currentEpoch, 0) so the follower re-bootstraps instead of
+	// silently diverging. The records shipped are ciphertext-domain
+	// mutations the follower's client already sent — replication adds
+	// nothing to Eve's view.
+	CmdShipLog byte = 0x0D
 
 	// RespOK acknowledges a command with no payload.
 	RespOK byte = 0x81
@@ -101,7 +112,27 @@ const (
 	// summary plus the conjunction's result (plain or verified), or the
 	// plan alone in explain mode (answer to CmdQueryConj).
 	RespResultConj byte = 0x8B
+	// RespLogChunk answers CmdShipLog with a slice of the log:
+	// epoch:u64 | start:u64 | head:u64 | count:u32 | records, each
+	// record op:u8 | payload (u32-length-prefixed). start is the
+	// sequence of the first record shipped (0 instead of the requested
+	// cursor when the cursor belongs to a rotated log), head is the
+	// server's current record count — the follower is caught up when its
+	// cursor reaches it.
+	RespLogChunk byte = 0x8C
 )
+
+// LogRecord is one replicated write-ahead-log record as it crosses the
+// wire: the storage op code and the record payload exactly as the
+// primary logged them. The follower applies records in sequence order,
+// which reproduces the primary's state because the log is a total order
+// of mutations.
+type LogRecord struct {
+	// Op is the storage log op code (store, insert, drop).
+	Op byte
+	// Payload is the record body, in the storage log's encoding.
+	Payload []byte
+}
 
 // CmdQueryConj request flag bits.
 const (
@@ -132,8 +163,14 @@ func WriteFrame(w io.Writer, f Frame) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("wire: writing frame header: %w", err)
 	}
-	if _, err := w.Write(f.Payload); err != nil {
-		return fmt.Errorf("wire: writing frame payload: %w", err)
+	// Skip the payload write for empty payloads: a zero-byte Write is a
+	// no-op on most writers but blocks on rendezvous transports
+	// (net.Pipe waits for a reader even for zero bytes), which can
+	// deadlock two peers writing empty-payload frames at each other.
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return fmt.Errorf("wire: writing frame payload: %w", err)
+		}
 	}
 	if bw, ok := w.(*bufio.Writer); ok {
 		if err := bw.Flush(); err != nil {
