@@ -5,7 +5,7 @@
 // Usage:
 //
 //	phserver [-addr :7632] [-log /path/to/store.log] [-sync always|interval|never] [-sync-interval 100ms]
-//	phserver [-addr :7633] -replica-of primary:7632 [-poll 100ms]
+//	phserver [-addr :7633] -replica-of primary:7632 [-poll 100ms] [-log /path/to/replica.log]
 //
 // With -log the store is durable: mutations are appended to a
 // checksummed write-ahead log and replayed on restart (torn or corrupt
@@ -16,13 +16,17 @@
 // -sync-interval; "never" leaves flushing to the OS. Without -log the
 // store is in-memory and the sync flags are ignored.
 //
-// With -replica-of the server runs as a read replica: it tails the
-// named primary's write-ahead log over the wire, replays it into an
-// in-memory store, and serves reads from it; mutations are rejected
-// with a message naming the primary. Replicas hold no trusted state —
-// clients verify replica answers against their pinned root exactly as
-// they verify the primary's — so -replica-of composes with -log being
-// absent by design and the two flags are mutually exclusive.
+// With -replica-of the server runs as a read replica: it bootstraps
+// from the primary's state snapshot (falling back to full log replay
+// against primaries that predate CmdShipSnapshot), tails the primary's
+// write-ahead log over the wire, and serves reads from the replayed
+// store; mutations are rejected with a message naming the primary.
+// Until the replica has a consistent cut to serve it refuses reads too
+// (clients quarantine it and fail over). Replicas hold no trusted
+// state — clients verify replica answers against their pinned root
+// exactly as they verify the primary's. -replica-of composes with
+// -log: a durable replica persists what it replays and resumes tailing
+// from its recorded cursor after a restart instead of re-bootstrapping.
 //
 // -idle-timeout, -write-timeout and -max-conns bound per-connection
 // I/O and the connection count on any server (0 = unlimited).
@@ -77,16 +81,31 @@ func main() {
 	var follower *replica.Follower
 	switch {
 	case *replicaOf != "":
+		ropts := replica.Options{PollInterval: *poll, Logf: logger.Printf}
 		if *logPath != "" {
-			logger.Fatal("-replica-of and -log are mutually exclusive: a replica's state IS the primary's log")
+			// A durable follower: replayed records land in its own WAL
+			// and the ship-base sidecar lets a restart resume tailing
+			// instead of re-bootstrapping.
+			policy, err := storage.ParseSyncPolicy(*syncMode)
+			if err != nil {
+				logger.Fatalf("bad -sync flag: %v", err)
+			}
+			rst, err := storage.OpenOptions(*logPath, storage.Options{Sync: policy, SyncInterval: *syncIvl})
+			if err != nil {
+				logger.Fatalf("opening replica store: %v", err)
+			}
+			defer rst.Close()
+			ropts.Store = rst
+			logger.Printf("durable replica store at %s (sync policy %s)", *logPath, policy)
 		}
 		follower = replica.New(func() (*client.Conn, error) {
 			return client.DialWithConfig(*replicaOf, client.DialConfig{})
-		}, replica.Options{PollInterval: *poll, Logf: logger.Printf})
+		}, ropts)
 		defer follower.Close()
 		store = follower.Store()
 		opts.ReadOnly = true
-		logger.Printf("read replica of %s (poll %s); mutations rejected", *replicaOf, *poll)
+		opts.Ready = follower.Ready
+		logger.Printf("read replica of %s (poll %s); mutations rejected, reads refused until caught up", *replicaOf, *poll)
 	case *logPath != "":
 		policy, err := storage.ParseSyncPolicy(*syncMode)
 		if err != nil {

@@ -354,6 +354,13 @@ func IsUnsupported(err error) bool {
 	return err != nil && strings.Contains(err.Error(), "unknown command")
 }
 
+// IsRemote reports whether the error is an answer the server gave
+// (RespError) rather than a transport failure: the connection is
+// healthy, and redialing would change nothing.
+func IsRemote(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "server error:")
+}
+
 // Prove fetches inclusion proofs for result positions (extension). Same
 // caveat as Root: the proofs describe the table as of this call, not as
 // of any earlier Root fetch.

@@ -180,6 +180,65 @@ func (c *Conn) ShipLog(epoch, from uint64, maxBytes uint32) (*LogChunk, error) {
 	return ch, nil
 }
 
+// SnapshotChunk is one CmdShipSnapshot answer: a byte range of an
+// encoded storage snapshot (storage.InstallSnapshot's input, once
+// reassembled).
+type SnapshotChunk struct {
+	// Epoch and Seq identify the snapshot the bytes belong to (the
+	// shipping cursor embedded in it). When they differ from the
+	// identity the fetcher asked with, its partial transfer is void and
+	// reassembly restarts at this chunk.
+	Epoch uint64
+	Seq   uint64
+	// Total is the snapshot's full encoded length; the transfer is
+	// complete when Offset+len(Data) == Total.
+	Total uint64
+	// Offset is the byte position Data starts at.
+	Offset uint64
+	// Data is the chunk.
+	Data []byte
+}
+
+// ShipSnapshot requests bytes [offset, offset+maxBytes) of the snapshot
+// identified by (epoch, seq) — zero identity for a fresh snapshot. The
+// server clamps the budget regardless; the reply is validated for
+// internal consistency here, and the reassembled snapshot is verified
+// end to end by storage.InstallSnapshot.
+func (c *Conn) ShipSnapshot(epoch, seq, offset uint64, maxBytes uint32) (*SnapshotChunk, error) {
+	payload := wire.AppendU64(nil, epoch)
+	payload = wire.AppendU64(payload, seq)
+	payload = wire.AppendU64(payload, offset)
+	payload = wire.AppendU32(payload, maxBytes)
+	resp, err := c.roundTrip(wire.Frame{Type: wire.CmdShipSnapshot, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.RespSnapshotChunk {
+		return nil, fmt.Errorf("client: unexpected response %#x to ship-snapshot", resp.Type)
+	}
+	r := wire.NewBuffer(resp.Payload)
+	ch := &SnapshotChunk{}
+	if ch.Epoch, err = r.U64(); err != nil {
+		return nil, fmt.Errorf("client: snapshot chunk epoch: %w", err)
+	}
+	if ch.Seq, err = r.U64(); err != nil {
+		return nil, fmt.Errorf("client: snapshot chunk seq: %w", err)
+	}
+	if ch.Total, err = r.U64(); err != nil {
+		return nil, fmt.Errorf("client: snapshot chunk total: %w", err)
+	}
+	if ch.Offset, err = r.U64(); err != nil {
+		return nil, fmt.Errorf("client: snapshot chunk offset: %w", err)
+	}
+	if ch.Data, err = r.Bytes(); err != nil {
+		return nil, fmt.Errorf("client: snapshot chunk data: %w", err)
+	}
+	if ch.Offset > ch.Total || uint64(len(ch.Data)) > ch.Total-ch.Offset {
+		return nil, fmt.Errorf("client: snapshot chunk [%d, %d+%d) exceeds declared total %d", ch.Offset, ch.Offset, len(ch.Data), ch.Total)
+	}
+	return ch, nil
+}
+
 // ReadStats counts where a DB's reads were served and how often replicas
 // failed, for observability and for the E18 failover drill.
 type ReadStats struct {

@@ -1,0 +1,310 @@
+// Package fault is a deterministic fault-injection harness for the
+// chaos suites: it wraps the two seams the system's durability and
+// replication claims rest on — the storage log file (threaded through
+// storage.Options.WrapLog) and the client's network connection
+// (threaded through client.DialConfig.DialFunc) — and makes them fail
+// in precisely scripted ways: disk full mid-append, fsync failure, torn
+// writes, crash at a byte offset, mid-frame connection cuts, partitions.
+//
+// Determinism is the point. Every fault fires at a byte count or call
+// count fixed by the plan, never at a wall-clock instant or a random
+// draw, so a failing chaos test replays identically under -run and
+// -race. Point derives pseudo-random-looking—but seed-determined—
+// trigger offsets for suites that want variety across cases without
+// giving up reproducibility.
+//
+// The package deliberately imports neither storage nor client: File
+// implements the same method set as storage.LogFile and Conn implements
+// net.Conn, so Go's structural interfaces thread them through without a
+// dependency cycle.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrCrashed is returned by every operation on a File past its crash
+// point: the simulated process is dead and nothing works any more. The
+// test typically reopens the underlying path next, as recovery would.
+var ErrCrashed = errors.New("fault: simulated crash")
+
+// ErrCut is returned by operations on a Conn after its scripted
+// mid-stream cut.
+var ErrCut = errors.New("fault: connection cut")
+
+// ErrPartitioned is returned by operations on a Conn while its
+// partition switch is on.
+var ErrPartitioned = errors.New("fault: network partitioned")
+
+// WritableFile is the file seam: the method set of storage.LogFile,
+// restated here so the package needs no storage import.
+type WritableFile interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// FilePlan scripts a File's faults. The zero value is a transparent
+// passthrough; each trigger is disabled at zero.
+type FilePlan struct {
+	// FailWriteAfterBytes makes the write that would push the total
+	// bytes written past this count fail with WriteErr. With ShortWrite
+	// the failing write first lands its prefix up to the boundary — a
+	// torn record the caller must repair; without it the write fails
+	// whole, the shape of a clean out-of-space refusal.
+	FailWriteAfterBytes int64
+	// WriteErr is the error failed writes return; nil selects ENOSPC,
+	// the canonical full disk.
+	WriteErr error
+	// ShortWrite makes the failing write partial instead of atomic.
+	ShortWrite bool
+	// FailSyncAfter makes the Nth Sync call fail (the first N-1
+	// succeed) with SyncErr, and every later Sync too. Zero disables.
+	FailSyncAfter int
+	// SyncErr is the error failed syncs return; nil selects a generic
+	// injected-fsync-failure error.
+	SyncErr error
+	// CrashAtByte simulates a process crash mid-write: the write
+	// crossing this byte count lands only its prefix, and every
+	// operation from then on — writes, syncs, truncates — returns
+	// ErrCrashed. Zero disables.
+	CrashAtByte int64
+}
+
+// File wraps a WritableFile with scripted faults. Safe for concurrent
+// use (the storage log writer calls it from writer and flusher
+// goroutines).
+type File struct {
+	f    WritableFile
+	plan FilePlan
+
+	mu      sync.Mutex
+	written int64
+	syncs   int
+	crashed bool
+}
+
+// NewFile wraps f with the plan's faults.
+func NewFile(f WritableFile, plan FilePlan) *File {
+	if plan.WriteErr == nil {
+		plan.WriteErr = syscall.ENOSPC
+	}
+	if plan.SyncErr == nil {
+		plan.SyncErr = errors.New("fault: injected fsync failure")
+	}
+	return &File{f: f, plan: plan}
+}
+
+// Written returns the bytes successfully handed to the underlying file.
+func (f *File) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Syncs returns how many Sync calls reached the file (including the
+// failing ones).
+func (f *File) Syncs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *File) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	if c := f.plan.CrashAtByte; c > 0 && f.written+int64(len(p)) > c {
+		// Land the prefix that "made it to disk", then die.
+		n := int(c - f.written)
+		if n > 0 {
+			n, _ = f.f.Write(p[:n])
+			f.written += int64(n)
+		}
+		f.crashed = true
+		return n, ErrCrashed
+	}
+	if b := f.plan.FailWriteAfterBytes; b > 0 && f.written+int64(len(p)) > b {
+		if f.plan.ShortWrite {
+			n := int(b - f.written)
+			if n > 0 {
+				n, _ = f.f.Write(p[:n])
+				f.written += int64(n)
+				return n, fmt.Errorf("fault: short write: %w", f.plan.WriteErr)
+			}
+		}
+		return 0, f.plan.WriteErr
+	}
+	n, err := f.f.Write(p)
+	f.written += int64(n)
+	return n, err
+}
+
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.syncs++
+	if a := f.plan.FailSyncAfter; a > 0 && f.syncs >= a {
+		return f.plan.SyncErr
+	}
+	return f.f.Sync()
+}
+
+func (f *File) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	err := f.f.Truncate(size)
+	if err == nil && size < f.written {
+		f.written = size
+	}
+	return err
+}
+
+func (f *File) Close() error {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		// The real process would never get to close cleanly; let the
+		// underlying descriptor go so tests can reopen the path.
+		f.f.Close()
+		return ErrCrashed
+	}
+	return f.f.Close()
+}
+
+// Switch is a shared on/off lever — a partition the test throws while
+// the system runs. The zero value is off. Safe for concurrent use.
+type Switch struct {
+	mu sync.Mutex
+	on bool
+}
+
+// Set throws the switch.
+func (s *Switch) Set(on bool) {
+	s.mu.Lock()
+	s.on = on
+	s.mu.Unlock()
+}
+
+// On reports the switch position.
+func (s *Switch) On() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.on
+}
+
+// ConnPlan scripts a Conn's faults. The zero value is a transparent
+// passthrough.
+type ConnPlan struct {
+	// CutAfterBytes severs the connection once this many bytes have
+	// been written through it: the crossing write lands only its prefix
+	// (a frame torn mid-flight) and everything after returns ErrCut.
+	// Zero disables.
+	CutAfterBytes int64
+	// Partition, when set and on, makes reads and writes fail with
+	// ErrPartitioned — both directions dead, connection unusable, but
+	// redial observable (the test decides when the partition heals by
+	// throwing the switch).
+	Partition *Switch
+	// Delay is added before every read and write, for ordering windows.
+	Delay time.Duration
+}
+
+// Conn wraps a net.Conn with scripted faults.
+type Conn struct {
+	net.Conn
+	plan ConnPlan
+
+	mu      sync.Mutex
+	written int64
+	cut     bool
+}
+
+// NewConn wraps c with the plan's faults.
+func NewConn(c net.Conn, plan ConnPlan) *Conn {
+	return &Conn{Conn: c, plan: plan}
+}
+
+func (c *Conn) gate() error {
+	if c.plan.Delay > 0 {
+		time.Sleep(c.plan.Delay)
+	}
+	if c.plan.Partition != nil && c.plan.Partition.On() {
+		return ErrPartitioned
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cut {
+		return ErrCut
+	}
+	return nil
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	if b := c.plan.CutAfterBytes; b > 0 && c.written+int64(len(p)) > b {
+		n := int(b - c.written)
+		if n > 0 {
+			n, _ = c.Conn.Write(p[:n])
+			c.written += int64(n)
+		}
+		c.cut = true
+		c.mu.Unlock()
+		c.Conn.Close()
+		return n, ErrCut
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.written += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// Point derives a deterministic trigger offset in [1, span] from a
+// seed, for suites that want fault positions to vary across cases
+// without giving up reproducibility (same seed, same fault, forever).
+// The mix is SplitMix64's finalizer.
+func Point(seed uint64, span int64) int64 {
+	if span <= 1 {
+		return 1
+	}
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return 1 + int64(z%uint64(span))
+}

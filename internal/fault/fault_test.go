@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"syscall"
+	"testing"
+)
+
+// memFile is an in-memory WritableFile recording what reached "disk".
+type memFile struct {
+	buf    bytes.Buffer
+	syncs  int
+	closed bool
+}
+
+func (m *memFile) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memFile) Sync() error                 { m.syncs++; return nil }
+func (m *memFile) Truncate(size int64) error {
+	m.buf.Truncate(int(size))
+	return nil
+}
+func (m *memFile) Close() error { m.closed = true; return nil }
+
+func TestFileENOSPCWholeWrite(t *testing.T) {
+	m := &memFile{}
+	f := NewFile(m, FilePlan{FailWriteAfterBytes: 10})
+	if _, err := f.Write(make([]byte, 10)); err != nil {
+		t.Fatalf("write inside budget: %v", err)
+	}
+	n, err := f.Write([]byte{1})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write past budget: err = %v, want ENOSPC", err)
+	}
+	if n != 0 || m.buf.Len() != 10 {
+		t.Fatalf("non-short failure leaked %d bytes (disk holds %d)", n, m.buf.Len())
+	}
+}
+
+func TestFileENOSPCShortWrite(t *testing.T) {
+	m := &memFile{}
+	f := NewFile(m, FilePlan{FailWriteAfterBytes: 10, ShortWrite: true})
+	n, err := f.Write(make([]byte, 25))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if n != 10 || m.buf.Len() != 10 {
+		t.Fatalf("short write landed %d bytes (disk holds %d), want 10", n, m.buf.Len())
+	}
+	// The harness must let repair through: storage truncates torn tails.
+	if err := f.Truncate(0); err != nil {
+		t.Fatalf("truncate after short write: %v", err)
+	}
+	if got := f.Written(); got != 0 {
+		t.Fatalf("Written() = %d after truncate to 0", got)
+	}
+}
+
+func TestFileSyncFailure(t *testing.T) {
+	m := &memFile{}
+	f := NewFile(m, FilePlan{FailSyncAfter: 3})
+	for i := 1; i <= 2; i++ {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("third sync succeeded, plan said fail")
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync failure did not persist")
+	}
+	if m.syncs != 2 {
+		t.Fatalf("underlying file saw %d syncs, want 2", m.syncs)
+	}
+}
+
+func TestFileCrashAtByte(t *testing.T) {
+	m := &memFile{}
+	f := NewFile(m, FilePlan{CrashAtByte: 7})
+	if _, err := f.Write([]byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("567890"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write: err = %v, want ErrCrashed", err)
+	}
+	if n != 3 || m.buf.String() != "1234567" {
+		t.Fatalf("crash landed %d bytes, disk %q; want the 7-byte prefix", n, m.buf.String())
+	}
+	if !f.Crashed() {
+		t.Fatal("Crashed() = false after the crash point")
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if err := f.Truncate(0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash truncate: %v", err)
+	}
+	if m.buf.String() != "1234567" {
+		t.Fatal("post-crash operation mutated the disk")
+	}
+}
+
+func TestConnCutMidStream(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := NewConn(a, ConnPlan{CutAfterBytes: 5})
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := b.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := c.Write([]byte("12345678"))
+	if !errors.Is(err, ErrCut) {
+		t.Fatalf("err = %v, want ErrCut", err)
+	}
+	if n != 5 {
+		t.Fatalf("cut landed %d bytes, want the 5-byte prefix", n)
+	}
+	if string(<-got) != "12345" {
+		t.Fatal("peer saw different bytes than the cut admitted")
+	}
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrCut) {
+		t.Fatalf("post-cut write: %v", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrCut) {
+		t.Fatalf("post-cut read: %v", err)
+	}
+}
+
+func TestConnPartition(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	var sw Switch
+	c := NewConn(a, ConnPlan{Partition: &sw})
+	go func() {
+		buf := make([]byte, 2)
+		b.Read(buf)
+		b.Write([]byte("ok"))
+	}()
+	if _, err := c.Write([]byte("hi")); err != nil {
+		t.Fatalf("write before partition: %v", err)
+	}
+	if _, err := c.Read(make([]byte, 2)); err != nil {
+		t.Fatalf("read before partition: %v", err)
+	}
+	sw.Set(true)
+	if _, err := c.Write([]byte("hi")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write under partition: %v", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("read under partition: %v", err)
+	}
+	sw.Set(false)
+	go func() {
+		buf := make([]byte, 2)
+		b.Read(buf)
+	}()
+	if _, err := c.Write([]byte("yo")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	c.Close()
+}
+
+func TestPointDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 64; seed++ {
+		p := Point(seed, 1000)
+		if p < 1 || p > 1000 {
+			t.Fatalf("Point(%d, 1000) = %d, out of [1, 1000]", seed, p)
+		}
+		if q := Point(seed, 1000); q != p {
+			t.Fatalf("Point(%d) unstable: %d then %d", seed, p, q)
+		}
+	}
+	if Point(1, 1) != 1 || Point(1, 0) != 1 {
+		t.Fatal("degenerate spans must pin to 1")
+	}
+}

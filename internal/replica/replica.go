@@ -1,7 +1,7 @@
-// Package replica implements the follower side of WAL shipping: a
-// read replica that tails a primary's write-ahead log over the wire
-// (CmdShipLog), replays the records into its own in-memory store, and
-// serves reads from it — typically behind a read-only server
+// Package replica implements the follower side of WAL shipping: a read
+// replica that tails a primary's write-ahead log over the wire
+// (CmdShipLog), replays the records into its own store, and serves
+// reads from it — typically behind a read-only server
 // (server.Options.ReadOnly), with mutations rejected locally.
 //
 // The follower's position is a cursor (epoch, seq): epoch names the
@@ -9,19 +9,35 @@
 // primary answers every poll with (epoch, start, head) bookkeeping;
 // whenever epoch or start disagrees with the cursor — the primary
 // compacted its log, restarted into a fresh one, or never saw this
-// follower — the follower discards its state and re-applies from the
-// stream's start. The log is a total order from the empty store, so
-// re-bootstrap is always sound and there is no snapshot format: silent
-// divergence is structurally impossible, the worst case is repeated
-// work.
+// follower — the follower's history is gone and it must re-bootstrap.
+//
+// Bootstrap has two paths. The preferred one fetches a checksummed
+// state snapshot in resumable chunks (CmdShipSnapshot) and installs it
+// atomically: O(state) work however long the primary's log is, and the
+// follower keeps serving its previous consistent state until the
+// install swaps — there is no window of emptiness. Against primaries
+// that predate the snapshot command (or with Options.DisableSnapshot)
+// the follower falls back to the original discipline: discard
+// everything and replay the shipped log from record 0. The log is a
+// total order from the empty store, so that replay is always sound —
+// just O(log) — and while it runs the follower reports itself not
+// Ready, which a fronting server surfaces as refusals so no client
+// reads a half-empty store.
+//
+// Followers may run durable (Options.Store over a WAL-backed store):
+// applied records land in the local log, and the store's ship-base
+// sidecar records which primary cursor that log corresponds to, so a
+// restarted follower resumes tailing from where it stopped instead of
+// re-bootstrapping.
 //
 // Trust is the interesting part, and there is deliberately nothing
 // here: the follower applies whatever the primary ships, and makes no
 // claim of integrity. The client's pinned authenticated root does not
 // care which machine answered — replayed records produce bit-identical
-// tuple bytes, hence identical Merkle leaves, hence the primary's root.
-// A follower that is stale, corrupted, or lying produces a root
-// mismatch at the client, which quarantines it and fails over (see
+// tuple bytes, hence identical Merkle leaves, hence the primary's root;
+// a snapshot-installed table is those same bytes arriving in bulk. A
+// follower that is stale, corrupted, or lying produces a root mismatch
+// at the client, which quarantines it and fails over (see
 // internal/client's withRead). Replication adds read capacity, never
 // trusted parties.
 package replica
@@ -35,15 +51,30 @@ import (
 	"repro/internal/storage"
 )
 
+// maxSnapshotBytes caps the encoded snapshot a follower will reassemble
+// from chunks (mirrors storage's installer-side cap).
+const maxSnapshotBytes = 1 << 30
+
 // Options tunes a Follower. The zero value gets sane defaults.
 type Options struct {
 	// PollInterval is the pause between polls once caught up (and after
 	// errors). <=0 selects 100ms. While behind, the follower polls
 	// continuously.
 	PollInterval time.Duration
-	// MaxBytes bounds one shipped chunk. <=0 selects 1MiB; the primary
-	// clamps hostile values regardless.
+	// MaxBytes bounds one shipped chunk (log records or snapshot
+	// bytes). <=0 selects 1MiB; the primary clamps hostile values
+	// regardless.
 	MaxBytes uint32
+	// Store, when set, is the store the follower replays into — pass a
+	// WAL-backed store (storage.OpenOptions) for a durable follower
+	// that resumes its cursor across restarts. Nil selects a fresh
+	// in-memory store. The store must not be mutated by anyone but the
+	// follower.
+	Store *storage.Store
+	// DisableSnapshot forces the record-0 replay bootstrap path even
+	// against primaries that can ship snapshots. For tests and
+	// experiments (E19 measures the two paths against each other).
+	DisableSnapshot bool
 	// Logf, when set, receives progress and error lines.
 	Logf func(format string, args ...any)
 }
@@ -68,17 +99,31 @@ type Status struct {
 	Head uint64
 	// CaughtUp reports whether the last poll found nothing to ship.
 	CaughtUp bool
+	// Ready reports whether the follower's store is a consistent cut of
+	// the primary's history, safe to serve reads from (possibly stale).
+	// It is false from a reset or apply failure until the follower
+	// catches back up; a snapshot bootstrap keeps the previous state
+	// serving, so Ready stays true across it.
+	Ready bool
 	// Resets counts re-bootstraps (primary compactions/restarts, apply
 	// failures). A busy primary makes this grow occasionally; growth on
 	// every poll means the follower cannot hold a cursor.
 	Resets uint64
+	// Snapshots counts snapshot installs (the O(state) bootstrap path).
+	Snapshots uint64
+	// RecordsApplied counts log records applied through shipping since
+	// this follower started (not counting snapshot contents).
+	RecordsApplied uint64
+	// SnapshotBytes counts snapshot bytes fetched since this follower
+	// started, including transfers that were later voided.
+	SnapshotBytes uint64
 	// LastErr is the most recent poll error, nil when the last poll
 	// succeeded.
 	LastErr error
 }
 
-// Follower tails a primary and keeps an in-memory store in sync with
-// its log. Create with New, serve reads from Store(), stop with Close.
+// Follower tails a primary and keeps a store in sync with its log.
+// Create with New, serve reads from Store(), stop with Close.
 type Follower struct {
 	store *storage.Store
 	dial  func() (*client.Conn, error)
@@ -89,8 +134,26 @@ type Follower struct {
 	seq      uint64
 	head     uint64
 	caughtUp bool
+	ready    bool
 	resets   uint64
 	lastErr  error
+
+	// Bootstrap state. bootstrapping is set when the cursor was
+	// invalidated and a snapshot fetch is in progress (or pending);
+	// snapEpoch/snapSeq identify the snapshot mid-transfer and snapBuf
+	// accumulates its bytes — kept across redials, voided when the
+	// primary answers under a different identity. snapUnsupported
+	// latches when the primary rejects CmdShipSnapshot, switching this
+	// follower to the record-0 replay path for its lifetime.
+	bootstrapping   bool
+	snapEpoch       uint64
+	snapSeq         uint64
+	snapBuf         []byte
+	snapUnsupported bool
+
+	snapshots   uint64
+	appliedRecs uint64
+	snapBytes   uint64
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -100,13 +163,27 @@ type Follower struct {
 // New starts a follower polling the primary reached by dial. The dial
 // function is invoked whenever the follower needs a (re)connection —
 // pair it with client.DialWithConfig for bounded retry.
+//
+// With Options.Store set to a durable store whose ship-base sidecar
+// survived (see storage.ResumeCursor), the follower adopts the resumed
+// cursor and is Ready immediately: its state is a consistent cut, just
+// possibly stale. Otherwise it starts at the zero cursor and bootstraps.
 func New(dial func() (*client.Conn, error), opts Options) *Follower {
+	opts = opts.withDefaults()
+	st := opts.Store
+	if st == nil {
+		st = storage.NewMemory()
+	}
 	f := &Follower{
-		store:  storage.NewMemory(),
+		store:  st,
 		dial:   dial,
-		opts:   opts.withDefaults(),
+		opts:   opts,
 		closed: make(chan struct{}),
 		done:   make(chan struct{}),
+	}
+	if epoch, seq, ok := st.ResumeCursor(); ok {
+		f.epoch, f.seq = epoch, seq
+		f.ready = true
 	}
 	go f.run()
 	return f
@@ -117,13 +194,25 @@ func New(dial func() (*client.Conn, error), opts Options) *Follower {
 // replay).
 func (f *Follower) Store() *storage.Store { return f.store }
 
+// Ready reports whether the follower is serving a consistent cut of the
+// primary's history. Wire it into server.Options.Ready so a fronting
+// read-only server refuses requests — and the client quarantines and
+// fails over — instead of answering from a store that is mid-reset.
+func (f *Follower) Ready() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ready
+}
+
 // Status returns the follower's current replication position.
 func (f *Follower) Status() Status {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return Status{
 		Epoch: f.epoch, Applied: f.seq, Head: f.head,
-		CaughtUp: f.caughtUp, Resets: f.resets, LastErr: f.lastErr,
+		CaughtUp: f.caughtUp, Ready: f.ready, Resets: f.resets,
+		Snapshots: f.snapshots, RecordsApplied: f.appliedRecs, SnapshotBytes: f.snapBytes,
+		LastErr: f.lastErr,
 	}
 }
 
@@ -178,12 +267,14 @@ func (f *Follower) setErr(err error) {
 	f.mu.Unlock()
 }
 
-// run is the poll loop: connect, ship from the cursor, apply, repeat —
+// run is the poll loop: connect, ship from the cursor (or fetch the
+// next snapshot chunk while bootstrapping), apply, repeat —
 // continuously while behind, at PollInterval once level or after any
 // error. Transport errors drop the connection and redial; the cursor
-// survives, so a restarted primary (same log) resumes where shipping
-// stopped, and a rotated one resets the follower through the epoch
-// check.
+// and any partial snapshot transfer survive, so a restarted primary
+// (same log) resumes where shipping stopped, a mid-transfer partition
+// resumes the transfer, and a rotated primary resets the follower
+// through the epoch check.
 func (f *Follower) run() {
 	defer close(f.done)
 	var conn *client.Conn
@@ -209,24 +300,20 @@ func (f *Follower) run() {
 			}
 			conn = c
 		}
-		f.mu.Lock()
-		epoch, seq := f.epoch, f.seq
-		f.mu.Unlock()
-		ch, err := conn.ShipLog(epoch, seq, f.opts.MaxBytes)
-		if err != nil {
-			f.setErr(fmt.Errorf("replica: shipping from (%d,%d): %w", epoch, seq, err))
-			f.logf("replica: poll failed, redialing: %v", err)
-			conn.Close()
-			conn = nil
-			if !f.sleep() {
-				return
-			}
-			continue
+		var behind bool
+		var err error
+		if f.needsBootstrap() {
+			behind, err = f.bootstrap(conn)
+		} else {
+			behind, err = f.poll(conn)
 		}
-		behind, err := f.apply(epoch, seq, ch)
 		if err != nil {
 			f.setErr(err)
 			f.logf("replica: %v", err)
+			if !isProtocolError(err) {
+				conn.Close()
+				conn = nil
+			}
 		}
 		if err != nil || !behind {
 			if !f.sleep() {
@@ -236,28 +323,146 @@ func (f *Follower) run() {
 	}
 }
 
+// isProtocolError reports whether the primary answered (with an error)
+// rather than the transport failing: the connection is fine, redialing
+// would change nothing.
+func isProtocolError(err error) bool {
+	return client.IsRemote(err)
+}
+
+// needsBootstrap reports whether the next round should fetch a snapshot
+// chunk instead of polling the log: an explicit bootstrap is pending,
+// or the cursor is virgin — and the snapshot path is available at all.
+func (f *Follower) needsBootstrap() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.opts.DisableSnapshot || f.snapUnsupported {
+		return false
+	}
+	return f.bootstrapping || (f.epoch == 0 && f.seq == 0)
+}
+
+// poll runs one ShipLog round and folds the answer into the store.
+func (f *Follower) poll(conn *client.Conn) (behind bool, err error) {
+	f.mu.Lock()
+	epoch, seq := f.epoch, f.seq
+	f.mu.Unlock()
+	ch, err := conn.ShipLog(epoch, seq, f.opts.MaxBytes)
+	if err != nil {
+		return false, fmt.Errorf("replica: shipping from (%d,%d): %w", epoch, seq, err)
+	}
+	return f.apply(epoch, seq, ch)
+}
+
+// bootstrap runs one CmdShipSnapshot round: fetch the next chunk of the
+// snapshot mid-transfer (or the first chunk of a fresh one), and when
+// the transfer completes, verify and install it and resume tailing from
+// its embedded cursor. The store keeps serving its previous state until
+// the install atomically swaps, so Ready is untouched here.
+func (f *Follower) bootstrap(conn *client.Conn) (behind bool, err error) {
+	f.mu.Lock()
+	f.bootstrapping = true
+	e, q, off := f.snapEpoch, f.snapSeq, uint64(len(f.snapBuf))
+	f.mu.Unlock()
+	ch, err := conn.ShipSnapshot(e, q, off, f.opts.MaxBytes)
+	if err != nil {
+		if client.IsUnsupported(err) {
+			// Pre-snapshot primary: latch the fallback and re-bootstrap
+			// by record-0 replay on the next round.
+			f.logf("replica: primary does not ship snapshots, falling back to record-0 replay")
+			f.mu.Lock()
+			f.snapUnsupported = true
+			f.bootstrapping = false
+			f.snapBuf = nil
+			f.epoch, f.seq = 0, 0
+			f.mu.Unlock()
+			return true, nil
+		}
+		return false, fmt.Errorf("replica: fetching snapshot chunk at %d: %w", off, err)
+	}
+	f.mu.Lock()
+	f.snapBytes += uint64(len(ch.Data))
+	if ch.Total > maxSnapshotBytes {
+		f.snapBuf = nil
+		f.mu.Unlock()
+		return false, fmt.Errorf("replica: primary offers a %d-byte snapshot, above the %d cap", ch.Total, maxSnapshotBytes)
+	}
+	if ch.Epoch != e || ch.Seq != q || ch.Offset != off {
+		// A different snapshot (or an offset the primary would not
+		// serve): everything accumulated is void. Adopt the new identity
+		// only from its origin; otherwise retry from scratch.
+		f.snapBuf = nil
+		f.snapEpoch, f.snapSeq = ch.Epoch, ch.Seq
+		if ch.Offset != 0 {
+			f.mu.Unlock()
+			return true, nil
+		}
+		if e != 0 || q != 0 {
+			f.logf("replica: snapshot (%d,%d) superseded by (%d,%d), restarting transfer", e, q, ch.Epoch, ch.Seq)
+		}
+	}
+	f.snapBuf = append(f.snapBuf, ch.Data...)
+	done := uint64(len(f.snapBuf)) == ch.Total
+	var buf []byte
+	if done {
+		buf, f.snapBuf = f.snapBuf, nil
+	}
+	f.mu.Unlock()
+	if !done {
+		return true, nil
+	}
+	cur, ierr := f.store.InstallSnapshot(buf)
+	if ierr != nil {
+		// The store kept its previous state; void the transfer and
+		// fetch a fresh snapshot next round.
+		f.mu.Lock()
+		f.snapEpoch, f.snapSeq = 0, 0
+		f.mu.Unlock()
+		return true, fmt.Errorf("replica: installing %d-byte snapshot (%d,%d): %w", len(buf), ch.Epoch, ch.Seq, ierr)
+	}
+	f.logf("replica: installed snapshot (%d,%d), %d bytes", cur.Epoch, cur.Seq, len(buf))
+	f.mu.Lock()
+	f.bootstrapping = false
+	f.snapEpoch, f.snapSeq = 0, 0
+	f.epoch, f.seq = cur.Epoch, cur.Seq
+	f.snapshots++
+	f.caughtUp = false
+	f.lastErr = nil
+	f.mu.Unlock()
+	return true, nil
+}
+
 // apply folds one shipped chunk into the store. It returns whether the
 // follower is still behind (poll again immediately). A chunk whose
 // epoch or start disagrees with the cursor means the follower's history
-// is gone on the primary: the store is reset and the chunk applied from
-// the stream's start. A record that fails to apply resets too — the
-// cursor goes to (0, 0) so the next poll re-bootstraps — because a
-// partially applied log is the one state shipping must never hold.
+// is gone on the primary: with snapshots available the follower flags a
+// bootstrap (keeping its consistent state serving until the install);
+// otherwise the store is reset and the chunk applied from the stream's
+// start. A record that fails to apply re-bootstraps too — a partially
+// applied log is the one state shipping must never hold.
 func (f *Follower) apply(epoch, seq uint64, ch *client.LogChunk) (behind bool, err error) {
 	if ch.Epoch != epoch || ch.Start != seq {
 		if ch.Start != 0 {
 			// The primary answered from a cursor this follower never held;
 			// force a clean bootstrap on the next poll.
-			f.reset(0, 0)
+			f.invalidate(0)
 			return true, fmt.Errorf("replica: primary answered from (%d,%d) to cursor (%d,%d); re-bootstrapping",
 				ch.Epoch, ch.Start, epoch, seq)
 		}
-		if epoch == 0 && seq == 0 {
-			// Virgin cursor adopting the primary's epoch: the first poll of
-			// a fresh follower, not a discard of applied state.
+		if f.snapshotsAvailable() {
+			// Never apply a record-0 stream over existing state: flag a
+			// snapshot bootstrap and keep serving the old consistent cut.
+			f.logf("replica: cursor (%d,%d) rotated away (primary at epoch %d); snapshot bootstrap", epoch, seq, ch.Epoch)
+			f.invalidate(0)
+			return true, nil
+		}
+		if epoch == 0 && seq == 0 && !f.dirty() {
+			// Virgin cursor adopting the primary's epoch: the first poll
+			// of a fresh follower, not a discard of applied state.
 			f.mu.Lock()
 			f.epoch = ch.Epoch
 			f.mu.Unlock()
+			f.setBase(ch.Epoch, 0)
 		} else {
 			f.logf("replica: cursor (%d,%d) rotated away (primary at epoch %d); re-bootstrapping", epoch, seq, ch.Epoch)
 			f.reset(ch.Epoch, 0)
@@ -266,26 +471,84 @@ func (f *Follower) apply(epoch, seq uint64, ch *client.LogChunk) (behind bool, e
 	}
 	for i, rec := range ch.Records {
 		if aerr := f.store.ApplyShipped(rec); aerr != nil {
-			f.reset(0, 0)
+			if f.snapshotsAvailable() {
+				f.invalidate(0)
+			} else {
+				f.reset(0, 0)
+			}
 			return true, fmt.Errorf("replica: applying record %d of (%d,%d): %w", i, ch.Epoch, ch.Start, aerr)
 		}
 		seq++
+		f.mu.Lock()
+		f.appliedRecs++
+		f.mu.Unlock()
 	}
 	f.mu.Lock()
 	f.epoch, f.seq, f.head = epoch, seq, ch.Head
 	f.caughtUp = seq >= ch.Head
+	if f.caughtUp {
+		f.ready = true
+	}
 	f.lastErr = nil
 	behind = !f.caughtUp
 	f.mu.Unlock()
 	return behind, nil
 }
 
-// reset discards the replayed state and moves the cursor.
+// snapshotsAvailable reports whether the snapshot bootstrap path is
+// open (enabled and not rejected by this primary).
+func (f *Follower) snapshotsAvailable() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.opts.DisableSnapshot && !f.snapUnsupported
+}
+
+// dirty reports whether the store holds any state — a record-0 replay
+// onto it would diverge. A durable follower restarting without a valid
+// ship base lands here.
+func (f *Follower) dirty() bool {
+	return len(f.store.List()) > 0
+}
+
+// invalidate voids the cursor and flags a snapshot bootstrap; the store
+// is untouched (it keeps serving the old consistent cut until the
+// install swaps it). A reset for accounting purposes.
+func (f *Follower) invalidate(epoch uint64) {
+	f.mu.Lock()
+	f.epoch, f.seq, f.head = epoch, 0, 0
+	f.caughtUp = false
+	f.bootstrapping = true
+	f.snapEpoch, f.snapSeq, f.snapBuf = 0, 0, nil
+	f.resets++
+	f.mu.Unlock()
+}
+
+// reset discards the replayed state and moves the cursor: the record-0
+// replay bootstrap. Until the follower catches back up it is not Ready
+// — its store is empty, and serving unverified reads from it would
+// return confidently wrong (near-empty) answers.
 func (f *Follower) reset(epoch, seq uint64) {
-	f.store.Reset()
+	f.mu.Lock()
+	f.ready = false
+	f.mu.Unlock()
+	if err := f.store.Reset(); err != nil {
+		f.logf("replica: resetting store: %v", err)
+	}
 	f.mu.Lock()
 	f.epoch, f.seq, f.head = epoch, seq, 0
 	f.caughtUp = false
 	f.resets++
 	f.mu.Unlock()
+	if epoch != 0 {
+		f.setBase(epoch, seq)
+	}
+}
+
+// setBase records the store's correspondence to a primary cursor (for
+// durable followers, persistently). Failure only costs a re-bootstrap
+// after the next restart.
+func (f *Follower) setBase(epoch, seq uint64) {
+	if err := f.store.SetShipBase(epoch, seq); err != nil {
+		f.logf("replica: recording ship base (%d,%d): %v", epoch, seq, err)
+	}
 }

@@ -33,9 +33,12 @@
 // or flaky peers — per-connection idle and write deadlines, a
 // connection cap, an inflight cap with a service-time floor (the
 // capacity model experiment E18 leans on) — and for running as a read
-// replica: ReadOnly rejects mutations, and CmdShipLog serves the
-// store's write-ahead log to followers (internal/replica) so read
-// capacity scales out without adding trusted parties.
+// replica: ReadOnly rejects mutations, CmdShipLog serves the store's
+// write-ahead log to followers (internal/replica) so read capacity
+// scales out without adding trusted parties, CmdShipSnapshot serves
+// them chunked state snapshots for O(state) bootstrap, and Ready lets
+// a follower refuse every request while it is catching up rather than
+// answer from a half-installed store.
 package server
 
 import (
@@ -89,6 +92,16 @@ type Options struct {
 	// which is what lets capacity experiments (E18) measure scaling
 	// deterministically on any machine. Not for production serving.
 	MinServiceTime time.Duration
+	// Ready, when set, gates every command: while it reports false the
+	// server answers each request with an error instead of serving it.
+	// Replicas set it to their follower's catch-up signal so a store
+	// that is mid-reset or mid-snapshot-install refuses loudly — an
+	// unverified read served from a half-empty store would otherwise
+	// succeed with near-empty answers, which is worse than any error.
+	// The client treats the refusal like any replica failure: quarantine
+	// and fail over. Must be safe for concurrent use; nil means always
+	// ready.
+	Ready func() bool
 }
 
 // Server is one service-provider instance.
@@ -354,6 +367,9 @@ func (s *Server) dispatch(f wire.Frame, scratch []byte) wire.Frame {
 // handle implements the command set. Response payloads build on scratch.
 func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 	r := wire.NewBuffer(f.Payload)
+	if s.opts.Ready != nil && !s.opts.Ready() {
+		return wire.Frame{}, fmt.Errorf("server: replica is catching up, not serving yet")
+	}
 	if s.opts.ReadOnly {
 		switch f.Type {
 		case wire.CmdStore, wire.CmdInsert, wire.CmdInsertStamped, wire.CmdDrop:
@@ -613,6 +629,39 @@ func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 			payload = wire.AppendBytes(payload, rec.Payload)
 		}
 		return wire.Frame{Type: wire.RespLogChunk, Payload: payload}, nil
+
+	case wire.CmdShipSnapshot:
+		// Snapshot shipping for replica bootstrap: one byte range of an
+		// encoded snapshot. The store clamps everything hostile — the
+		// budget is capped server-side, offsets past the end are empty,
+		// and an identity it no longer holds is answered with a fresh
+		// snapshot from offset 0.
+		reqEpoch, err := r.U64()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		reqSeq, err := r.U64()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		offset, err := r.U64()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		maxBytes, err := r.U32()
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		data, epoch, seq, total, off, err := s.store.ReadSnapshot(reqEpoch, reqSeq, offset, maxBytes)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		payload := wire.AppendU64(scratch, epoch)
+		payload = wire.AppendU64(payload, seq)
+		payload = wire.AppendU64(payload, total)
+		payload = wire.AppendU64(payload, off)
+		payload = wire.AppendBytes(payload, data)
+		return wire.Frame{Type: wire.RespSnapshotChunk, Payload: payload}, nil
 
 	default:
 		return wire.Frame{}, fmt.Errorf("server: unknown command %#x", f.Type)

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/ph"
@@ -17,17 +18,21 @@ import (
 // Log shipping: the surface a read replica tails a primary through
 // (internal/replica drives it over wire.CmdShipLog).
 //
-// The write-ahead log is already a total order of mutations starting
-// from the empty store, so a follower needs no snapshot format: it
-// bootstraps by replaying the current file from record 0 and stays
-// current by polling for records past its cursor. A cursor is the pair
-// (epoch, seq): seq indexes records of the current log file, and the
-// epoch — a random identifier persisted in a sidecar next to the log —
-// names which file that sequence space belongs to. Compact rewrites the
-// file, making old sequence numbers meaningless, so it rotates the
-// epoch; a follower presenting a cursor from a rotated (or otherwise
-// unknown) epoch is answered from (currentEpoch, 0) and re-bootstraps
-// instead of silently diverging.
+// The write-ahead log is a total order of mutations starting from the
+// empty store, and a follower stays current by polling for records past
+// its cursor. A cursor is the pair (epoch, seq): seq indexes records of
+// the current log file, and the epoch — a random identifier persisted
+// in a sidecar next to the log — names which file that sequence space
+// belongs to. Compact rewrites the file, making old sequence numbers
+// meaningless, so it rotates the epoch; a follower presenting a cursor
+// from a rotated (or otherwise unknown) epoch is answered from
+// (currentEpoch, 0), telling it to re-bootstrap instead of silently
+// diverging. Bootstrapping itself has two paths: replaying the shipped
+// stream from record 0, or — O(state) instead of O(log) — installing a
+// checksummed snapshot that embeds the cursor it corresponds to (see
+// snapshot.go). A durable follower additionally persists its cursor's
+// provenance in a ship-base sidecar (SetShipBase) so a restart resumes
+// tailing where it left off.
 //
 // Trust model: replication adds nothing for Eve to learn — shipped
 // records are the ciphertext mutations the client already sent — and a
@@ -38,6 +43,10 @@ import (
 
 // epochSuffix names the sidecar file holding the log's shipping epoch.
 const epochSuffix = ".epoch"
+
+// shipBaseSuffix names the sidecar recording where a follower's local
+// log sits in its primary's shipping stream (see SetShipBase).
+const shipBaseSuffix = ".shipbase"
 
 // maxShipRecords bounds the records one ReadLog answer carries,
 // whatever byte budget the (untrusted, possibly hostile) peer asked
@@ -57,45 +66,83 @@ func randomEpoch() (uint64, error) {
 	return e, nil
 }
 
-// writeEpoch persists the epoch sidecar for the log at path, through a
-// temp file, fsync and rename so the sidecar is never half-written.
-func writeEpoch(path string, epoch uint64) error {
-	var b [8]byte
-	binary.BigEndian.PutUint64(b[:], epoch)
-	tmp := path + epochSuffix + ".tmp"
+// Epoch sidecar format v2: magic "EPC2" | epoch:u64 | crc32c:u32, the
+// CRC covering magic+epoch. The checksum is what distinguishes a
+// half-written or bit-flipped sidecar from a legitimate rotation: a
+// corrupt sidecar mints a FRESH epoch (below), so no follower cursor
+// ever resumes against an epoch the disk merely resembles. The v1
+// format (8 raw epoch bytes) is still accepted on read for logs
+// written before the checksum existed.
+const (
+	epochMagic   = "EPC2"
+	epochV2Len   = 4 + 8 + 4
+	epochV1Len   = 8
+	epochTmpName = ".tmp"
+)
+
+// writeSidecar persists small sidecar contents through a temp file,
+// fsync and rename so the sidecar is never half-written in place (a
+// crash leaves either the old sidecar or the new one, or a stray .tmp
+// that is simply overwritten next time).
+func writeSidecar(path string, contents []byte, what string) error {
+	tmp := path + epochTmpName
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
 	if err != nil {
-		return fmt.Errorf("storage: creating epoch sidecar: %w", err)
+		return fmt.Errorf("storage: creating %s sidecar: %w", what, err)
 	}
-	if _, err := f.Write(b[:]); err != nil {
+	if _, err := f.Write(contents); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("storage: writing epoch sidecar: %w", err)
+		return fmt.Errorf("storage: writing %s sidecar: %w", what, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("storage: syncing epoch sidecar: %w", err)
+		return fmt.Errorf("storage: syncing %s sidecar: %w", what, err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("storage: closing epoch sidecar: %w", err)
+		return fmt.Errorf("storage: closing %s sidecar: %w", what, err)
 	}
-	if err := os.Rename(tmp, path+epochSuffix); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("storage: installing epoch sidecar: %w", err)
+		return fmt.Errorf("storage: installing %s sidecar: %w", what, err)
 	}
 	return nil
 }
 
+// writeEpoch persists the epoch sidecar for the log at path.
+func writeEpoch(path string, epoch uint64) error {
+	b := make([]byte, 0, epochV2Len)
+	b = append(b, epochMagic...)
+	b = binary.BigEndian.AppendUint64(b, epoch)
+	crc := crc32.Checksum(b, castagnoli)
+	b = binary.BigEndian.AppendUint32(b, crc)
+	return writeSidecar(path+epochSuffix, b, "epoch")
+}
+
 // loadEpoch reads the log's epoch sidecar, minting (and persisting) a
-// fresh epoch when there is none or its contents are unusable. A lost
-// sidecar therefore just looks like a rotation: followers re-bootstrap.
+// fresh epoch when there is none or its contents are unusable — a
+// missing file, a truncated (half-written) one, or one whose checksum
+// disowns its bytes. A lost or corrupt sidecar therefore just looks
+// like a rotation: followers re-bootstrap, and shipping never resumes
+// under an epoch the store cannot vouch for.
 func loadEpoch(path string) (uint64, error) {
 	b, err := os.ReadFile(path + epochSuffix)
-	if err == nil && len(b) == 8 {
-		if e := binary.BigEndian.Uint64(b); e != 0 {
-			return e, nil
+	if err == nil {
+		switch {
+		case len(b) == epochV2Len && string(b[:4]) == epochMagic:
+			if crc32.Checksum(b[:12], castagnoli) == binary.BigEndian.Uint32(b[12:]) {
+				if e := binary.BigEndian.Uint64(b[4:12]); e != 0 {
+					return e, nil
+				}
+			}
+		case len(b) == epochV1Len:
+			// Legacy unchecksummed sidecar: accept nonzero values so
+			// pre-v2 deployments keep their followers' cursors.
+			if e := binary.BigEndian.Uint64(b); e != 0 {
+				return e, nil
+			}
 		}
 	}
 	if err != nil && !os.IsNotExist(err) {
@@ -109,6 +156,114 @@ func loadEpoch(path string) (uint64, error) {
 		return 0, err
 	}
 	return e, nil
+}
+
+// Ship-base sidecar format: magic "SBC1" | ownEpoch:u64 |
+// primaryEpoch:u64 | primarySeq:u64 | localRecs:u64 | crc32c:u32.
+//
+// It records where a follower's own durable log sits in its primary's
+// shipping stream: when the local log held localRecs records, the
+// follower's cursor was (primaryEpoch, primarySeq). Every locally
+// logged record past localRecs is exactly one applied shipped record,
+// so after a restart the cursor resumes at primarySeq + (recs -
+// localRecs). ownEpoch binds the sidecar to the local log file it
+// describes: any swap of the local log (Reset, InstallSnapshot,
+// Compact) rotates the local epoch, so a sidecar from a crashed,
+// half-finished swap fails the binding check and the follower
+// re-bootstraps instead of resuming a cursor that matches neither file.
+const (
+	shipBaseMagic = "SBC1"
+	shipBaseLen   = 4 + 4*8 + 4
+)
+
+// shipBase is the in-memory form of the ship-base sidecar.
+type shipBase struct {
+	primaryEpoch uint64
+	primarySeq   uint64
+	localRecs    uint64
+}
+
+func writeShipBase(path string, ownEpoch uint64, b shipBase) error {
+	buf := make([]byte, 0, shipBaseLen)
+	buf = append(buf, shipBaseMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, ownEpoch)
+	buf = binary.BigEndian.AppendUint64(buf, b.primaryEpoch)
+	buf = binary.BigEndian.AppendUint64(buf, b.primarySeq)
+	buf = binary.BigEndian.AppendUint64(buf, b.localRecs)
+	crc := crc32.Checksum(buf, castagnoli)
+	buf = binary.BigEndian.AppendUint32(buf, crc)
+	return writeSidecar(path+shipBaseSuffix, buf, "ship-base")
+}
+
+// loadShipBase reads the ship-base sidecar, returning ok=false for a
+// missing, torn, checksum-failing or wrong-epoch sidecar — all of which
+// just mean the follower re-bootstraps.
+func loadShipBase(path string, ownEpoch uint64) (shipBase, bool) {
+	b, err := os.ReadFile(path + shipBaseSuffix)
+	if err != nil || len(b) != shipBaseLen || string(b[:4]) != shipBaseMagic {
+		return shipBase{}, false
+	}
+	if crc32.Checksum(b[:shipBaseLen-4], castagnoli) != binary.BigEndian.Uint32(b[shipBaseLen-4:]) {
+		return shipBase{}, false
+	}
+	if binary.BigEndian.Uint64(b[4:12]) != ownEpoch {
+		return shipBase{}, false
+	}
+	return shipBase{
+		primaryEpoch: binary.BigEndian.Uint64(b[12:20]),
+		primarySeq:   binary.BigEndian.Uint64(b[20:28]),
+		localRecs:    binary.BigEndian.Uint64(b[28:36]),
+	}, true
+}
+
+// SetShipBase records that this store's current contents correspond to
+// the primary cursor (primaryEpoch, primarySeq). Followers call it when
+// they adopt an epoch at sequence 0; InstallSnapshot records the
+// snapshot's embedded cursor itself. For durable stores the base is
+// persisted in a checksummed sidecar bound to the local log's epoch, so
+// a restarted follower resumes tailing instead of re-bootstrapping.
+func (s *Store) SetShipBase(primaryEpoch, primarySeq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.setShipBaseLocked(primaryEpoch, primarySeq)
+}
+
+// setShipBaseLocked is SetShipBase under a held store lock.
+func (s *Store) setShipBaseLocked(primaryEpoch, primarySeq uint64) error {
+	b := shipBase{primaryEpoch: primaryEpoch, primarySeq: primarySeq}
+	if s.wal != nil {
+		b.localRecs = s.wal.records()
+		if err := writeShipBase(s.path, s.epoch, b); err != nil {
+			return err
+		}
+	}
+	s.base, s.baseValid = b, true
+	return nil
+}
+
+// ResumeCursor returns the shipping cursor this store's contents are
+// known to correspond to, for a follower deciding where to resume
+// tailing after a restart: (primaryEpoch, primarySeq + records applied
+// since the base was recorded). ok is false when no valid base exists —
+// a fresh store, a torn or stale sidecar, or a local log shorter than
+// the base claims (a torn tail truncated into the snapshot region) —
+// and the follower must re-bootstrap.
+func (s *Store) ResumeCursor() (epoch, seq uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.baseValid {
+		return 0, 0, false
+	}
+	var recs uint64
+	if s.wal != nil {
+		recs = s.wal.records()
+	} else {
+		recs = s.base.localRecs
+	}
+	if recs < s.base.localRecs {
+		return 0, 0, false
+	}
+	return s.base.primaryEpoch, s.base.primarySeq + (recs - s.base.localRecs), true
 }
 
 // LogEpoch returns the current log-shipping epoch (0 for in-memory
@@ -336,24 +491,70 @@ func (s *Store) ApplyShipped(rec wire.LogRecord) error {
 }
 
 // Reset drops every table and cached result, returning the store to
-// empty. It exists for replica (in-memory) stores that must re-bootstrap
-// after a primary log rotation; a durable store refuses — its log is the
-// source of truth and resetting memory out from under it would fork the
-// two.
+// empty. It exists for replica stores that must re-bootstrap after a
+// primary log rotation. For a durable store the log is reset with it —
+// an empty replacement file is fsynced and renamed over the old log
+// under Compact's crash discipline (the local epoch rotates, so a stale
+// ship-base sidecar fails its binding check) — because resetting memory
+// without the log would fork the two.
 func (s *Store) Reset() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Quiesce and retire every entry: write-locking an entry excludes
+	// in-flight appends past their catalogue lookup, so no log write is
+	// in flight when the file is swapped, and marking it stale sends
+	// those appends back to the (new, empty) catalogue.
+	entries := s.lockAllEntries()
 	if s.wal != nil {
-		return fmt.Errorf("storage: refusing to reset a durable store")
+		tmpPath := s.path + ".reset"
+		tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o600)
+		if err != nil {
+			unlockEntries(entries, false)
+			return fmt.Errorf("storage: creating reset log: %w", err)
+		}
+		if err := s.rotateLog(tmp, tmpPath, 0, 0); err != nil {
+			unlockEntries(entries, false)
+			return err
+		}
 	}
-	for _, e := range s.tables {
-		e.mu.Lock()
-		e.stale = true
-		e.mu.Unlock()
-	}
+	unlockEntries(entries, true)
 	s.tables = make(map[string]*tableEntry)
 	if s.cache != nil {
 		s.cache = cache.New(0)
 	}
+	s.baseValid = false
+	if s.wal != nil {
+		os.Remove(s.path + shipBaseSuffix)
+	}
 	return nil
+}
+
+// lockAllEntries write-locks every catalogued entry in sorted name
+// order (the store lock is held exclusively, so the set is stable).
+func (s *Store) lockAllEntries() []*tableEntry {
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]*tableEntry, 0, len(names))
+	for _, name := range names {
+		e := s.tables[name]
+		e.mu.Lock()
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// unlockEntries releases lockAllEntries, marking the entries stale when
+// the catalogue is about to replace them (retire=true). On an aborted
+// swap the entries stay live — leaving them marked stale while still
+// catalogued would send retrying appenders into a spin.
+func unlockEntries(entries []*tableEntry, retire bool) {
+	for _, e := range entries {
+		if retire {
+			e.stale = true
+		}
+		e.mu.Unlock()
+	}
 }

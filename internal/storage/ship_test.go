@@ -276,15 +276,49 @@ func TestShipLostSidecarRotates(t *testing.T) {
 	}
 }
 
-func TestResetDurableRefused(t *testing.T) {
+// TestResetDurable pins the lifted memory-only restriction: Reset on a
+// durable store resets the log together with memory (no fork), rotates
+// the shipping epoch so stale cursors cannot resolve into the new file,
+// and leaves a store that accepts writes and reopens to exactly what
+// was written after the reset.
+func TestResetDurable(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	p, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer p.Close()
-	if err := p.Reset(); err == nil {
-		t.Fatal("durable store allowed Reset; memory and log would fork")
+	if err := p.Put("emp", fakeTable(3)); err != nil {
+		t.Fatal(err)
+	}
+	oldEpoch := p.LogEpoch()
+	if err := p.Reset(); err != nil {
+		t.Fatalf("durable Reset: %v", err)
+	}
+	if n := len(p.List()); n != 0 {
+		t.Fatalf("after Reset, %d tables remain", n)
+	}
+	if size, _ := p.LogSize(); size != 0 {
+		t.Fatalf("after Reset, log holds %d bytes; memory and log forked", size)
+	}
+	if p.LogEpoch() == oldEpoch {
+		t.Fatal("Reset kept the shipping epoch; stale cursors would resolve into the new file")
+	}
+	if err := p.Put("dept", fakeTable(2)); err != nil {
+		t.Fatalf("write after Reset: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after Reset: %v", err)
+	}
+	defer r.Close()
+	if got := len(r.List()); got != 1 {
+		t.Fatalf("reopened store has %d tables, want just the post-Reset one", got)
+	}
+	if _, err := r.Get("dept"); err != nil {
+		t.Fatalf("post-Reset table lost across reopen: %v", err)
 	}
 }
 

@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+// fuzzSnapshot encodes a valid snapshot of a small in-memory store.
+func fuzzSnapshot(tables int) []byte {
+	s := NewMemory()
+	names := []string{"emp", "dept", "proj"}
+	for i := 0; i < tables && i < len(names); i++ {
+		if err := s.Put(names[i], fakeTable(i+1)); err != nil {
+			panic(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteSnapshot(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// resealSnapshot recomputes the header CRC and trailer CRC so that a
+// hostile mutation to the header fields is actually reached by the
+// decoder instead of bouncing off the checksums.
+func resealSnapshot(b []byte) []byte {
+	if len(b) < snapMinLen {
+		return b
+	}
+	binary.BigEndian.PutUint32(b[snapHdrLen-4:], crc32.Checksum(b[:snapHdrLen-4], castagnoli))
+	binary.BigEndian.PutUint32(b[len(b)-4:], crc32.Checksum(b[:len(b)-4], castagnoli))
+	return b
+}
+
+// FuzzDecodeSnapshot feeds arbitrary bytes to the snapshot decoder and
+// holds it to the install-soundness contract: it must never panic, and
+// whenever it accepts an input, installing that input into a fresh
+// store must succeed, reproduce exactly the decoded tables, and adopt
+// exactly the embedded cursor — while a rejected input must leave an
+// existing store untouched.
+func FuzzDecodeSnapshot(f *testing.F) {
+	valid := fuzzSnapshot(2)
+	empty := fuzzSnapshot(0)
+
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(empty)
+
+	// Truncated chunks: every structural boundary a torn transfer or a
+	// lying server could leave behind.
+	f.Add(valid[:4])                                   // mid-magic
+	f.Add(valid[:snapHdrLen-1])                        // torn header
+	f.Add(valid[:snapHdrLen])                          // header only, trailer missing
+	f.Add(valid[:snapMinLen])                          // header + trailer-sized stub
+	f.Add(valid[:len(valid)-1])                        // last trailer byte missing
+	f.Add(valid[:len(valid)-5])                        // trailer gone, record torn
+	f.Add(valid[:snapHdrLen+2])                        // mid record length field
+	f.Add(append(append([]byte(nil), valid...), 0xEE)) // trailing junk
+
+	// Mutated checksums: flip one byte in each guarded region.
+	for _, i := range []int{0, 9, snapHdrLen - 2, snapHdrLen + 1, len(valid) / 2, len(valid) - 2} {
+		bad := append([]byte(nil), valid...)
+		bad[i] ^= 0x10
+		f.Add(bad)
+	}
+
+	// Hostile counts behind valid checksums: the decoder must fail on
+	// the missing records, not allocate what the header promises.
+	huge := append([]byte(nil), empty...)
+	binary.BigEndian.PutUint32(huge[24:], maxSnapTables)
+	f.Add(resealSnapshot(huge))
+	over := append([]byte(nil), empty...)
+	binary.BigEndian.PutUint32(over[24:], maxSnapTables+1)
+	f.Add(resealSnapshot(over))
+
+	// A cursor from the future: structurally valid, epoch/seq maxed.
+	future := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint64(future[8:], ^uint64(0))
+	binary.BigEndian.PutUint64(future[16:], ^uint64(0))
+	f.Add(resealSnapshot(future))
+
+	// Hostile per-record length fields behind a resealed trailer.
+	lenbomb := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(lenbomb[snapHdrLen:], 0xFFFFFF00)
+	f.Add(resealSnapshot(lenbomb))
+
+	// Duplicate table name: two copies of the same record body.
+	if len(valid) > snapMinLen {
+		body := valid[snapHdrLen : len(valid)-4]
+		dup := append([]byte(nil), valid[:snapHdrLen]...)
+		dup = append(dup, body...)
+		dup = append(dup, body...)
+		dup = append(dup, 0, 0, 0, 0)
+		binary.BigEndian.PutUint32(dup[24:], 4)
+		f.Add(resealSnapshot(dup))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, cur, err := decodeSnapshot(data)
+		if err != nil {
+			// Rejected input must leave a populated store untouched.
+			s := NewMemory()
+			if perr := s.Put("keep", fakeTable(2)); perr != nil {
+				t.Fatal(perr)
+			}
+			if _, ierr := s.InstallSnapshot(data); ierr == nil {
+				t.Fatal("decode rejected the input but install accepted it")
+			}
+			got, gerr := s.Get("keep")
+			if gerr != nil || len(got.Tuples) != 2 {
+				t.Fatalf("failed install disturbed the store: %v", gerr)
+			}
+			return
+		}
+		// Accepted input must install cleanly and reproduce itself.
+		s := NewMemory()
+		icur, ierr := s.InstallSnapshot(data)
+		if ierr != nil {
+			t.Fatalf("decode accepted but install failed: %v", ierr)
+		}
+		if icur != cur {
+			t.Fatalf("install adopted cursor %+v, decode said %+v", icur, cur)
+		}
+		list := s.List()
+		if len(list) != len(recs) {
+			t.Fatalf("installed %d tables, decoded %d", len(list), len(recs))
+		}
+		for _, rec := range recs {
+			got, gerr := s.Get(rec.name)
+			if gerr != nil {
+				t.Fatalf("decoded table %q missing after install: %v", rec.name, gerr)
+			}
+			if !reflect.DeepEqual(got, rec.table) {
+				t.Fatalf("table %q differs between decode and install", rec.name)
+			}
+		}
+		if e, q, ok := s.ResumeCursor(); !ok || e != cur.Epoch || q != cur.Seq {
+			t.Fatalf("ResumeCursor = (%d,%d,%v) after install of cursor %+v", e, q, ok, cur)
+		}
+	})
+}

@@ -16,6 +16,20 @@
 // and anything after a corrupt record (CRC mismatch) is truncated away,
 // so replay never silently misapplies bytes the CRC disowns.
 //
+// Degradation under write failure (disk full, I/O error, failed fsync):
+// the log writer's first failure is sticky. The failing record is
+// truncated back out of the file so the log never ends in bytes that
+// were acknowledged to nobody, the error is returned to the caller, and
+// every later mutation is refused with the same error BEFORE touching
+// memory — the store degrades to a read-only catalogue rather than
+// letting memory and log fork. One asymmetry is inherent to group
+// commit: the mutation that first hits a failing fsync has already
+// applied in memory when the durability wait reports the error, so that
+// single write is in-doubt (visible to reads, absent from the log) until
+// the store is reopened; reopening replays only what the log's
+// checksums vouch for. Recovery from a cleared condition (space freed)
+// is by reopening the store.
+//
 // Locking model: the store-level RWMutex guards only the catalogue map
 // and the cache pointer; each table carries its own RWMutex guarding its
 // tuple data, and the log writer serialises record framing under its own
@@ -74,7 +88,11 @@
 // follower whose cursor predates the rotation is told to re-bootstrap
 // rather than silently diverge — and ApplyShipped replays shipped
 // records through the normal Put/Append/Drop, producing bit-identical
-// tuples and therefore the primary's Merkle roots. See ship.go and
+// tuples and therefore the primary's Merkle roots. A follower whose
+// cursor no longer resolves bootstraps from a checksummed snapshot of
+// the live state (snapshot.go) instead of replaying from record 0, and
+// a durable follower persists its shipping base in a sidecar so it
+// resumes tailing across its own restarts. See ship.go, snapshot.go and
 // internal/replica for the follower side.
 package storage
 
@@ -200,6 +218,28 @@ type Store struct {
 	shipEpoch uint64
 	shipSeq   uint64
 	shipOff   int64
+
+	// wrapLog is Options.WrapLog, retained so every replacement log
+	// handle installed by Compact, Reset or InstallSnapshot passes
+	// through the same fault seam as the handle opened at OpenOptions.
+	wrapLog func(LogFile) LogFile
+
+	// base is a durable follower's persisted shipping base (see
+	// ship.go): the primary-side cursor this store's local log was
+	// seeded from, used to recompute the resume cursor across restarts.
+	// Guarded by mu; baseValid is false when no trustworthy sidecar was
+	// found.
+	base      shipBase
+	baseValid bool
+
+	// snapMu guards the snapshot serving cache (see snapshot.go): one
+	// encoded snapshot is retained so chunked ShipSnapshot reads serve a
+	// stable byte stream without re-walking the catalogue per chunk.
+	// Never acquire mu or a table lock while holding snapMu.
+	snapMu    sync.Mutex
+	snapBuf   []byte
+	snapEpoch uint64
+	snapSeq   uint64
 }
 
 // NewMemory creates a volatile in-memory store with result caching
@@ -233,6 +273,9 @@ func OpenOptions(path string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s.epoch = epoch
+	if b, ok := loadShipBase(path, epoch); ok {
+		s.base, s.baseValid = b, true
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("storage: opening log %s: %w", path, err)
@@ -242,7 +285,12 @@ func OpenOptions(path string, opts Options) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: stat log %s: %w", path, err)
 	}
-	s.wal = newWALWriter(f, info.Size(), recs, opts)
+	s.wrapLog = opts.WrapLog
+	var lf LogFile = f
+	if s.wrapLog != nil {
+		lf = s.wrapLog(f)
+	}
+	s.wal = newWALWriter(lf, info.Size(), recs, opts)
 	return s, nil
 }
 
@@ -977,16 +1025,31 @@ func (s *Store) Compact() error {
 		}
 		size += int64(len(buf))
 	}
-	if err := tmp.Sync(); err != nil {
-		return abort(fmt.Errorf("storage: syncing compacted log: %w", err))
+	return s.rotateLog(tmp, tmpPath, size, uint64(len(names)))
+}
+
+// rotateLog swaps a fully written replacement log file into place under
+// Compact's crash discipline, shared by Compact, Reset and
+// InstallSnapshot. The caller holds s.mu exclusively and has quiesced
+// every table (so the log writer has nothing in flight), and has
+// written tmp's records but not synced them. On any failure before the
+// rename the temp file is removed and the old log — still valid — stays
+// in force. The local shipping epoch is rotated BEFORE the swap: a
+// follower cursor minted against the old file must never resolve into
+// the replacement (same sequence number, different record). The sidecar
+// is written and fsynced first, so a crash between the two steps leaves
+// a new epoch over the old log — followers re-bootstrap needlessly,
+// which is safe; the reverse order could pair the old epoch with the
+// new file, which silently diverges.
+func (s *Store) rotateLog(tmp *os.File, tmpPath string, size int64, recs uint64) error {
+	abort := func(e error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return e
 	}
-	// Rotate the log-shipping epoch BEFORE the swap: a follower cursor
-	// minted against the old file must never resolve into the compacted
-	// one (same sequence number, different record). The sidecar is
-	// written and fsynced first, so a crash between the two steps leaves
-	// a new epoch over the old log — followers re-bootstrap needlessly,
-	// which is safe; the reverse order could pair the old epoch with the
-	// new file, which silently diverges.
+	if err := tmp.Sync(); err != nil {
+		return abort(fmt.Errorf("storage: syncing replacement log: %w", err))
+	}
 	newEpoch, err := randomEpoch()
 	if err != nil {
 		return abort(err)
@@ -995,24 +1058,35 @@ func (s *Store) Compact() error {
 		return abort(err)
 	}
 	if err := os.Rename(tmpPath, s.path); err != nil {
-		return abort(fmt.Errorf("storage: swapping compacted log: %w", err))
+		return abort(fmt.Errorf("storage: swapping replacement log: %w", err))
 	}
 	// The already-open handle follows the inode across the rename, so
 	// the store never holds a closed or dangling log, whatever failed
 	// above. installFile releases any group-commit waiters (their
-	// records are superseded by the compacted, fsynced file) and restarts
-	// the shipping sequence at the compacted record count.
-	ierr := s.wal.installFile(tmp, size, uint64(len(names)))
+	// records are superseded by the replacement, fsynced file), clears
+	// any sticky write error, and restarts the shipping sequence at the
+	// replacement's record count.
+	var lf LogFile = tmp
+	if s.wrapLog != nil {
+		lf = s.wrapLog(tmp)
+	}
+	ierr := s.wal.installFile(lf, size, recs)
 	if errors.Is(ierr, errLogClosed) {
 		return ierr
 	}
 	// The swap happened: publish the new epoch (we hold s.mu exclusively,
-	// which is what serialises this against ReadLog's epoch reads) and
-	// point the ship cursor cache at the new file's origin.
+	// which is what serialises this against ReadLog's epoch reads),
+	// point the ship cursor cache at the new file's origin, and drop
+	// state bound to the old file: the persisted shipping base (its
+	// ownEpoch binding just broke, by design) and any cached snapshot.
 	s.epoch = newEpoch
 	s.shipMu.Lock()
 	s.shipEpoch, s.shipSeq, s.shipOff = newEpoch, 0, 0
 	s.shipMu.Unlock()
+	s.baseValid = false
+	s.snapMu.Lock()
+	s.snapBuf = nil
+	s.snapMu.Unlock()
 	return ierr
 }
 

@@ -74,6 +74,13 @@ type Options struct {
 	// SyncInterval is the background fsync period under SyncInterval;
 	// zero selects DefaultSyncInterval. Ignored by the other policies.
 	SyncInterval time.Duration
+	// WrapLog, when set, wraps every append handle the store opens over
+	// its log — the one opened at OpenOptions and every replacement
+	// installed by Compact, Reset or InstallSnapshot. It is the fault
+	// seam: internal/fault's File threads ENOSPC, fsync failures, torn
+	// writes and crash points through it. Replay and shipping read the
+	// log through separate read-only handles that are not wrapped.
+	WrapLog func(LogFile) LogFile
 }
 
 // LogStats counts log writer activity, for observability and for
@@ -120,10 +127,12 @@ func appendWALRecord(dst []byte, op byte, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
-// logFile is the slice of *os.File the log writer needs. Tests
-// substitute instrumented implementations to pin the sync ordering and
-// the fsync sharing of group commit without relying on disk timing.
-type logFile interface {
+// LogFile is the slice of *os.File the log writer needs. Tests — and
+// the fault-injection harness (internal/fault), through Options.WrapLog
+// — substitute instrumented implementations to pin the sync ordering,
+// the fsync sharing of group commit, and the store's behaviour under
+// disk faults without relying on disk timing.
+type LogFile interface {
 	io.Writer
 	Sync() error
 	Truncate(size int64) error
@@ -147,7 +156,7 @@ type walWriter struct {
 	interval time.Duration
 
 	mu      sync.Mutex // guards f, pending/spare/scratch, off, wseq, recs, closed, werr
-	f       logFile
+	f       LogFile
 	pending []byte // staged v1 records awaiting the next group flush (SyncAlways)
 	spare   []byte // double-buffer the flusher swaps in for pending
 	scratch []byte // reused framing buffer for the direct-write policies
@@ -176,7 +185,7 @@ type walWriter struct {
 // newWALWriter wraps an opened log file positioned for appends. size is
 // the file's current byte length; recs is the number of records already
 // in it (counted by replay), which seeds the log-shipping sequence.
-func newWALWriter(f logFile, size int64, recs uint64, opts Options) *walWriter {
+func newWALWriter(f LogFile, size int64, recs uint64, opts Options) *walWriter {
 	w := &walWriter{policy: opts.Sync, interval: opts.SyncInterval, f: f, off: size, recs: recs}
 	if w.interval <= 0 {
 		w.interval = DefaultSyncInterval
@@ -412,7 +421,7 @@ func (w *walWriter) syncNow() error {
 // closed; a failure to close it is returned but leaves the store fully
 // usable on the new log. recs is the new file's record count, which
 // restarts the log-shipping sequence space.
-func (w *walWriter) installFile(f logFile, size int64, recs uint64) error {
+func (w *walWriter) installFile(f LogFile, size int64, recs uint64) error {
 	w.sm.Lock()
 	w.barrier = true
 	for w.syncing {

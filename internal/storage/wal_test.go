@@ -10,7 +10,7 @@ import (
 	"repro/internal/wire"
 )
 
-// fakeLogFile is an instrumented in-memory logFile. It tracks how many
+// fakeLogFile is an instrumented in-memory LogFile. It tracks how many
 // bytes have been written and how many of those an fsync has covered, so
 // tests can pin the sync-before-ack ordering and the fsync sharing of
 // group commit without depending on disk timing.

@@ -83,6 +83,15 @@ const (
 	// mutations the follower's client already sent — replication adds
 	// nothing to Eve's view.
 	CmdShipLog byte = 0x0D
+	// CmdShipSnapshot fetches one chunk of an encoded storage snapshot
+	// (replication bootstrap; internal/replica). Payload: epoch:u64 |
+	// seq:u64 | offset:u64 | maxBytes:u32 — the identity (embedded
+	// cursor) of the snapshot the follower is mid-transfer on (zero for
+	// a fresh one), the byte offset to resume at, and a budget for the
+	// answer. The server replies with RespSnapshotChunk; if it no longer
+	// holds the identified snapshot it serves a fresh one from offset 0
+	// under the new identity, and the follower restarts reassembly.
+	CmdShipSnapshot byte = 0x0E
 
 	// RespOK acknowledges a command with no payload.
 	RespOK byte = 0x81
@@ -120,6 +129,15 @@ const (
 	// server's current record count — the follower is caught up when its
 	// cursor reaches it.
 	RespLogChunk byte = 0x8C
+	// RespSnapshotChunk answers CmdShipSnapshot with one byte range of
+	// an encoded snapshot: epoch:u64 | seq:u64 | total:u64 | offset:u64
+	// | data (u32-length-prefixed). (epoch, seq) identify the snapshot
+	// the bytes belong to — offsets from a different identity are void —
+	// total is the full encoded length, and the follower has the whole
+	// string once offset+len(data) == total. The reassembled bytes are
+	// verified as a unit by the installer (storage.InstallSnapshot), so
+	// transfer corruption can fail an install but never corrupt one.
+	RespSnapshotChunk byte = 0x8D
 )
 
 // LogRecord is one replicated write-ahead-log record as it crosses the
