@@ -1,0 +1,126 @@
+// Package analysis is the repo's static-analysis framework: a small,
+// dependency-free mirror of the golang.org/x/tools/go/analysis API that
+// the phlint analyzer suite (layer 12, see DESIGN.md) is written
+// against. It exists because the repo's security and durability
+// invariants — hostile-count allocation clamps in wire decoders, no
+// blocking I/O under the storage catalogue mutex, constant-time
+// comparison of PRF/HMAC-derived bytes, crypto/rand-only randomness in
+// key-handling code, durability acks dominated by a checked fsync —
+// were previously enforced by reviewer folklore; each one had already
+// been hand-fixed at least once (PRs 3–7) and nothing stopped the next
+// change from reintroducing them. The analyzers under
+// internal/analysis/* turn those invariants into CI-gated checks,
+// driven by cmd/phlint both standalone and as a `go vet -vettool`.
+//
+// The framework deliberately reimplements only the slice of go/analysis
+// the suite needs (per-package syntax + types, diagnostics, no facts),
+// because the build environment vendors no third-party modules. An
+// Analyzer here is source-compatible in shape with an x/tools Analyzer,
+// so porting the suite onto the real multichecker later is mechanical.
+//
+// # Suppressions
+//
+// A finding that is deliberate is silenced in place, with a reason:
+//
+//	//phlint:ignore <analyzer> <reason...>
+//
+// on the flagged line, or on its own line immediately above it. The
+// reason is mandatory — a bare suppression is itself reported — and a
+// suppression that matches no finding is reported as unused, so stale
+// ignores cannot accumulate. There is no file- or package-wide opt-out:
+// every exception to an invariant is visible at the line that takes it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// phlint:ignore suppression comments.
+	Name string
+	// Doc is the analyzer's one-paragraph description: the invariant it
+	// encodes and what a finding means.
+	Doc string
+	// Match reports whether the analyzer applies to a package import
+	// path. Analyzers that encode package-specific disciplines (the
+	// storage lock discipline, the wire decode clamps) use it to scope
+	// themselves; nil means every package.
+	Match func(pkgPath string) bool
+	// Run executes the check over one package.
+	Run func(pass *Pass) error
+}
+
+// AppliesTo reports whether the analyzer should run on the package.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	return a.Match == nil || a.Match(pkgPath)
+}
+
+// A Pass carries one package's parsed and type-checked form to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// report receives diagnostics; the driver wires it.
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a resolved diagnostic as the driver hands it to callers:
+// positioned, attributed, and already filtered through suppressions.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name ("phlint" for findings
+	// about the suppression mechanism itself).
+	Analyzer string `json:"analyzer"`
+	// Position is the finding's file:line:column.
+	Position token.Position `json:"position"`
+	// Message states the violated invariant at this site.
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional vet shape.
+func (f Finding) String() string {
+	return f.Position.String() + ": " + f.Message + " [" + f.Analyzer + "]"
+}
+
+// PathHasSegment reports whether any "/"-separated segment of the
+// import path equals seg. Analyzer Match functions use it so that
+// "repro/internal/wire" and an analysistest fixture path like "wire"
+// or "a/wire" scope identically.
+func PathHasSegment(path, seg string) bool {
+	for _, head := range strings.Split(path, "/") {
+		if head == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// PathHasAnySegment reports whether any segment of path equals one of
+// the given segments.
+func PathHasAnySegment(path string, segs ...string) bool {
+	for _, s := range segs {
+		if PathHasSegment(path, s) {
+			return true
+		}
+	}
+	return false
+}

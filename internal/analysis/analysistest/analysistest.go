@@ -1,0 +1,190 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its findings against expectations written in the fixtures
+// themselves, mirroring golang.org/x/tools/go/analysis/analysistest on
+// top of the repo's stdlib-only framework.
+//
+// A fixture package lives in testdata/src/<name>/ next to the analyzer
+// and is self-contained (standard-library imports only). A line that
+// must be flagged carries a want comment whose argument is a regular
+// expression matched against the finding message:
+//
+//	t.Words = make([][]byte, n) // want `wire-decoded count`
+//
+// Several comments on one line demand several findings. Lines without a
+// want comment must produce no finding. Suppression fixtures exercise
+// the driver's //phlint:ignore handling the same way: a suppressed line
+// carries no want, an unused suppression line wants the driver's
+// "unused" finding.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// wantRe matches one expectation: want `re` or want "re", repeated.
+var wantRe = regexp.MustCompile("// *want ((?:(?:`[^`]*`|\"[^\"]*\") *)+)")
+
+var argRe = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+// Run analyzes each fixture package under testdata/src and reports any
+// mismatch between the analyzer's surviving findings (plus driver
+// findings) and the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fix := range fixtures {
+		dir := filepath.Join(testdata, "src", fix)
+		t.Run(fix, func(t *testing.T) {
+			t.Helper()
+			runOne(t, dir, fix, a)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir, path string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	imports, err := fixtureImports(filenames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := load.ExportsFor(imports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	imp := load.ExportImporter(fset, func(p string) (string, bool) {
+		f, ok := exports[p]
+		return f, ok
+	})
+	target, err := load.Check(path, fset, filenames, imp)
+	if err != nil {
+		t.Fatalf("fixture does not type-check: %v", err)
+	}
+
+	findings, err := analysis.Run(target, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, filenames)
+	for _, f := range findings {
+		key := lineKey{f.Position.Filename, f.Position.Line}
+		if matchWant(wants[key], f.Message) {
+			continue
+		}
+		t.Errorf("unexpected finding: %s", f)
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no finding matched want %q", key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+// fixtureImports collects the union of import paths across the files.
+func fixtureImports(filenames []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	fset := token.NewFileSet()
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	return out, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans fixture files for want comments.
+func collectWants(t *testing.T, filenames []string) map[lineKey][]*want {
+	t.Helper()
+	wants := map[lineKey][]*want{}
+	for _, name := range filenames {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range argRe.FindAllString(m[1], -1) {
+				pat := arg[1 : len(arg)-1]
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+				}
+				key := lineKey{name, i + 1}
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// matchWant consumes the first unmatched want whose pattern matches.
+func matchWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Fprint is a debugging helper: it renders findings one per line.
+func Fprint(findings []analysis.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintln(&b, f)
+	}
+	return b.String()
+}

@@ -1,0 +1,12 @@
+package clampalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/clampalloc"
+)
+
+func TestClampalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", clampalloc.Analyzer, "wire")
+}

@@ -1,0 +1,113 @@
+// Fixture for the clampalloc analyzer. The package is named wire so the
+// analyzer's path filter picks it up, and it defines a local Buffer type
+// because the analyzer recognises decode sources by receiver type name.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var errShort = errors.New("short buffer")
+
+// Buffer mimics the repo's wire.Buffer integer accessors.
+type Buffer struct {
+	rest []byte
+}
+
+func (b *Buffer) U32() (uint32, error) {
+	if len(b.rest) < 4 {
+		return 0, errShort
+	}
+	v := binary.BigEndian.Uint32(b.rest)
+	b.rest = b.rest[4:]
+	return v, nil
+}
+
+func (b *Buffer) Remaining() int { return len(b.rest) }
+
+// ClampCount mimics the repo's blessed clamp helper.
+func ClampCount(declared uint32, possible int) int {
+	if possible < 0 {
+		possible = 0
+	}
+	if uint64(declared) < uint64(possible) {
+		return int(declared)
+	}
+	return possible
+}
+
+// decodeHostile is the PR4 regression shape: a CmdProve-style decoder
+// pre-allocating from the declared count before reading any payload.
+func decodeHostile(r *Buffer) ([][]byte, error) {
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, n) // want `wire-decoded count`
+	for i := uint32(0); i < n; i++ {
+		out = append(out, nil)
+	}
+	return out, nil
+}
+
+// decodeDerived shows taint surviving conversion and arithmetic.
+func decodeDerived(r *Buffer) []byte {
+	n, _ := r.U32()
+	need := int(n) * 8
+	return make([]byte, need) // want `wire-decoded count`
+}
+
+// decodeHeader shows the encoding/binary source.
+func decodeHeader(b []byte) []uint64 {
+	count := binary.BigEndian.Uint32(b)
+	return make([]uint64, count) // want `wire-decoded count`
+}
+
+// decodeClamped is clean: the count flows through ClampCount.
+func decodeClamped(r *Buffer) []int {
+	n, _ := r.U32()
+	return make([]int, 0, ClampCount(n, r.Remaining()/8))
+}
+
+// decodeMin is clean: the count flows through the min builtin.
+func decodeMin(r *Buffer) []int {
+	n, _ := r.U32()
+	return make([]int, 0, min(int(n), 1024))
+}
+
+// decodeGuarded is clean: a terminating guard validates the count
+// against the bytes actually present.
+func decodeGuarded(r *Buffer) ([]byte, error) {
+	n, _ := r.U32()
+	if int(n) > r.Remaining() {
+		return nil, errShort
+	}
+	return make([]byte, n), nil
+}
+
+// decodeReassigned is clean: the tainted value is overwritten with a
+// bounded one before allocation.
+func decodeReassigned(r *Buffer) []int {
+	n, _ := r.U32()
+	m := int(n)
+	if m > 64 {
+		m = 64
+	}
+	return make([]int, m)
+}
+
+// decodeSuppressed takes a documented exception.
+func decodeSuppressed(r *Buffer) []int {
+	n, _ := r.U32()
+	//phlint:ignore clampalloc count is bounded by session negotiation upstream
+	return make([]int, n)
+}
+
+// decodeStaleSuppression carries an ignore that silences nothing: the
+// driver reports it so stale exceptions cannot accumulate.
+func decodeStaleSuppression(r *Buffer) []int {
+	n, _ := r.U32()
+	//phlint:ignore clampalloc stale exception // want `unused phlint:ignore`
+	return make([]int, ClampCount(n, 64))
+}

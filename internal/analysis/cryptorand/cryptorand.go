@@ -1,0 +1,80 @@
+// Package cryptorand forbids math/rand where unpredictability is a
+// security property. The scheme's guarantees (SWP encryption, trapdoor
+// generation, Merkle salting) assume randomness an adversary cannot
+// reconstruct; math/rand and math/rand/v2 are seeded PRNGs whose whole
+// output is recoverable from a small amount of observed state.
+//
+// Enforcement has two tiers:
+//
+//   - In the cryptographic packages (crypto, swp, schemes, authindex)
+//     importing math/rand at all is a finding: nothing in those
+//     packages has a legitimate use for predictable randomness.
+//   - In internal/client, math/rand is legitimate for jitter and
+//     backoff, so only uses inside key-handling functions — names
+//     matching key/secret/trapdoor/nonce/salt — are flagged.
+package cryptorand
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the cryptorand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "cryptorand",
+	Doc: "math/rand is forbidden in cryptographic packages and in key-handling " +
+		"client code; use crypto/rand",
+	Match: func(path string) bool {
+		return analysis.PathHasAnySegment(path, "crypto", "swp", "schemes", "authindex", "client")
+	},
+	Run: run,
+}
+
+// keyish matches function names that handle key material.
+var keyish = regexp.MustCompile(`(?i)key|secret|trapdoor|nonce|salt`)
+
+func run(pass *analysis.Pass) error {
+	strict := analysis.PathHasAnySegment(pass.Pkg.Path(), "crypto", "swp", "schemes", "authindex")
+	for _, f := range pass.Files {
+		if strict {
+			for _, imp := range f.Imports {
+				if path, err := strconv.Unquote(imp.Path.Value); err == nil && isMathRand(path) {
+					pass.Reportf(imp.Pos(),
+						"%s is a seeded PRNG and has no place in a cryptographic package; use crypto/rand", path)
+				}
+			}
+			continue
+		}
+		// Client tier: flag math/rand uses inside key-handling functions.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !keyish.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				// A package qualifier resolves to a PkgName declared in
+				// THIS package, so only the referenced member — whose
+				// Pkg() really is math/rand — reaches the report.
+				obj := pass.Info.Uses[id]
+				if obj == nil || obj.Pkg() == nil || !isMathRand(obj.Pkg().Path()) {
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"%s in key-handling function %s: key material needs crypto/rand", obj.Pkg().Path(), fd.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isMathRand(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}

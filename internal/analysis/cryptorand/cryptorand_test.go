@@ -1,0 +1,12 @@
+package cryptorand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cryptorand"
+)
+
+func TestCryptorand(t *testing.T) {
+	analysistest.Run(t, "testdata", cryptorand.Analyzer, "swp", "client")
+}

@@ -1,0 +1,37 @@
+// Fixture for the cryptorand analyzer's client tier: math/rand is
+// legitimate for jitter, forbidden in key-handling functions.
+package client
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+	"time"
+)
+
+// jitter is clean: backoff spread is not a secret.
+func jitter(d time.Duration) time.Duration {
+	return d + time.Duration(mrand.Int63n(int64(d)))
+}
+
+// deriveSessionKey misuses the seeded PRNG for key material.
+func deriveSessionKey() []byte {
+	k := make([]byte, 32)
+	mrand.Read(k) // want `key material needs crypto/rand`
+	return k
+}
+
+// freshNonce is clean: key material from crypto/rand.
+func freshNonce() []byte {
+	n := make([]byte, 12)
+	if _, err := rand.Read(n); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// seedTrapdoorCache takes a documented exception: the name trips the
+// key-handling heuristic but the value is an eviction tiebreak.
+func seedTrapdoorCache() int {
+	//phlint:ignore cryptorand cache eviction tiebreak, not key material
+	return mrand.Intn(8)
+}

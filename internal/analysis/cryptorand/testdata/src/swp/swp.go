@@ -1,0 +1,17 @@
+// Fixture for the cryptorand analyzer's strict tier: a cryptographic
+// package importing the seeded PRNG at all is a finding.
+package swp
+
+import (
+	"crypto/rand"
+	mrand "math/rand" // want `seeded PRNG`
+)
+
+func salt() []byte {
+	b := make([]byte, 16)
+	if _, err := rand.Read(b); err != nil {
+		panic(err)
+	}
+	_ = mrand.Int()
+	return b
+}

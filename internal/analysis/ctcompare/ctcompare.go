@@ -1,0 +1,121 @@
+// Package ctcompare flags variable-time comparison of secret-derived
+// bytes in the repo's cryptographic packages. bytes.Equal exits on the
+// first mismatching byte, so comparing a PRF checksum, HMAC tag, or
+// trapdoor-derived value with it leaks — through timing — how many
+// leading bytes an attacker's forgery matched: a byte-at-a-time oracle
+// against the secret. The SWP matcher's checksum comparison
+// (internal/swp/matcher.go) shipped with exactly this bug.
+//
+// In the packages that handle PRF/HMAC/trapdoor material (crypto, swp,
+// schemes, authindex), the analyzer flags:
+//
+//   - bytes.Equal(...)
+//   - reflect.DeepEqual on []byte operands
+//   - string(a) == string(b) where a and b are byte slices
+//
+// The fix is hmac.Equal (crypto/hmac) or subtle.ConstantTimeCompare —
+// both examine every byte regardless of where the first mismatch falls.
+// Comparisons of genuinely public values (Merkle roots published as
+// commitments) take a //phlint:ignore with the reason spelled out.
+package ctcompare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctcompare analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctcompare",
+	Doc: "secret-derived bytes must be compared in constant time " +
+		"(hmac.Equal or subtle.ConstantTimeCompare, not bytes.Equal)",
+	Match: func(path string) bool {
+		return analysis.PathHasAnySegment(path, "crypto", "swp", "schemes", "authindex")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.BinaryExpr:
+				checkStringCompare(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	switch obj.FullName() {
+	case "bytes.Equal":
+		pass.Reportf(call.Pos(),
+			"bytes.Equal exits on the first mismatch and leaks a timing oracle on secret-derived bytes; use hmac.Equal or subtle.ConstantTimeCompare")
+	case "reflect.DeepEqual":
+		for _, arg := range call.Args {
+			if isByteSlice(pass, arg) {
+				pass.Reportf(call.Pos(),
+					"reflect.DeepEqual on byte slices is variable-time; use hmac.Equal or subtle.ConstantTimeCompare")
+				return
+			}
+		}
+	}
+}
+
+// checkStringCompare flags string(a) == string(b) over byte slices —
+// the compiler turns it into a memcmp, which is just as variable-time
+// as bytes.Equal.
+func checkStringCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if bytesToString(pass, b.X) || bytesToString(pass, b.Y) {
+		pass.Reportf(b.Pos(),
+			"string-conversion comparison of byte slices is variable-time; use hmac.Equal or subtle.ConstantTimeCompare")
+	}
+}
+
+// bytesToString reports whether the expression is a string(x)
+// conversion of a byte slice.
+func bytesToString(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); !ok || basic.Kind() != types.String {
+		return false
+	}
+	return isByteSlice(pass, call.Args[0])
+}
+
+func isByteSlice(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	slice, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := slice.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}

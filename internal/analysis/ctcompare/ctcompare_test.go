@@ -1,0 +1,12 @@
+package ctcompare_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctcompare"
+)
+
+func TestCtcompare(t *testing.T) {
+	analysistest.Run(t, "testdata", ctcompare.Analyzer, "swp")
+}

@@ -1,0 +1,47 @@
+// Fixture for the ctcompare analyzer, shaped like the SWP matcher bug:
+// a PRF checksum compared with bytes.Equal.
+package swp
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/subtle"
+	"reflect"
+)
+
+// matchHostile is the internal/swp/matcher.go regression shape: the
+// early-exit comparison hands an adaptive adversary a byte-at-a-time
+// oracle against the PRF key.
+func matchHostile(got, want []byte) bool {
+	return bytes.Equal(got, want) // want `timing oracle`
+}
+
+func matchDeepEqual(got, want []byte) bool {
+	return reflect.DeepEqual(got, want) // want `variable-time`
+}
+
+func matchStringCompare(got, want []byte) bool {
+	return string(got) == string(want) // want `variable-time`
+}
+
+// matchConstantTime is clean: hmac.Equal examines every byte.
+func matchConstantTime(got, want []byte) bool {
+	return hmac.Equal(got, want)
+}
+
+// matchSubtle is clean too.
+func matchSubtle(got, want []byte) bool {
+	return subtle.ConstantTimeCompare(got, want) == 1
+}
+
+// deepEqualStruct is clean: DeepEqual over non-byte-slice values is
+// outside this invariant.
+func deepEqualStruct(a, b map[string]int) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// rootsMatch takes the documented exception for public commitments.
+func rootsMatch(localRoot, signedRoot []byte) bool {
+	//phlint:ignore ctcompare Merkle roots are public commitments, not secrets
+	return bytes.Equal(localRoot, signedRoot)
+}

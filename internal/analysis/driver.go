@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DriverName attributes findings produced by the framework itself
+// (malformed or unused suppressions) rather than by an analyzer.
+const DriverName = "phlint"
+
+// ignorePrefix introduces a suppression comment. The full shape is
+// //phlint:ignore <analyzer> <reason...> — see the package doc.
+const ignorePrefix = "phlint:ignore"
+
+// A Target is one package as the driver consumes it: parsed syntax plus
+// type information. The load and analysistest packages both produce it.
+type Target struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// suppression is one parsed //phlint:ignore comment.
+type suppression struct {
+	analyzer string
+	reason   string
+	file     string
+	// lines are the source lines the suppression covers: its own line,
+	// and — when the comment stands alone — the next line.
+	lines [2]int
+	pos   token.Pos
+	used  bool
+}
+
+// Run executes every applicable analyzer over the target and returns
+// the findings that survive suppression filtering, in file/line order.
+// Findings about the suppression mechanism itself (missing reason,
+// unused ignore) are attributed to DriverName.
+func Run(t *Target, analyzers []*Analyzer) ([]Finding, error) {
+	sups, supFindings := collectSuppressions(t)
+
+	var findings []Finding
+	for _, a := range analyzers {
+		if !a.AppliesTo(t.Path) {
+			continue
+		}
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     t.Fset,
+			Files:    t.Files,
+			Pkg:      t.Pkg,
+			Info:     t.Info,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, t.Path, err)
+		}
+		for _, d := range diags {
+			pos := t.Fset.Position(d.Pos)
+			if suppressed(sups, a.Name, pos) {
+				continue
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
+		}
+	}
+
+	// A suppression that silenced nothing is a stale exception: either
+	// the underlying code was fixed (delete the comment) or the comment
+	// is in the wrong place (it is silently not protecting anything).
+	for _, s := range sups {
+		if !s.used {
+			supFindings = append(supFindings, Finding{
+				Analyzer: DriverName,
+				Position: t.Fset.Position(s.pos),
+				Message:  fmt.Sprintf("unused %s for %q: no %s finding on this line", ignorePrefix, s.analyzer, s.analyzer),
+			})
+		}
+	}
+	findings = append(findings, supFindings...)
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// collectSuppressions parses every //phlint:ignore comment in the
+// target, returning the usable suppressions and immediate findings for
+// malformed ones (no analyzer name, or no reason).
+func collectSuppressions(t *Target) ([]*suppression, []Finding) {
+	var sups []*suppression
+	var bad []Finding
+	for _, f := range t.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := t.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					bad = append(bad, Finding{
+						Analyzer: DriverName,
+						Position: pos,
+						Message:  fmt.Sprintf("%s needs an analyzer name and a reason: //%s <analyzer> <reason>", ignorePrefix, ignorePrefix),
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: DriverName,
+						Position: pos,
+						Message:  fmt.Sprintf("%s %s needs a reason: every suppressed finding documents why the invariant does not apply", ignorePrefix, fields[0]),
+					})
+					continue
+				}
+				s := &suppression{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					file:     pos.Filename,
+					pos:      c.Pos(),
+				}
+				s.lines[0] = pos.Line
+				s.lines[1] = pos.Line
+				if ownLine(t.Fset, f, c) {
+					s.lines[1] = pos.Line + 1
+				}
+				sups = append(sups, s)
+			}
+		}
+	}
+	return sups, bad
+}
+
+// ownLine reports whether the comment is the only thing on its source
+// line (in which case it covers the following line too).
+func ownLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	onlyComment := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !onlyComment {
+			return false
+		}
+		if _, isFile := n.(*ast.File); isFile {
+			return true
+		}
+		if fset.Position(n.Pos()).Line <= line && fset.Position(n.End()).Line >= line {
+			switch n.(type) {
+			case *ast.Comment, *ast.CommentGroup:
+				return false
+			}
+			// A declaration or statement whose extent covers the line is
+			// fine (a comment inside a block); code that STARTS or ENDS on
+			// the comment's line shares it.
+			if fset.Position(n.Pos()).Line == line || fset.Position(n.End()).Line == line {
+				switch n.(type) {
+				case *ast.BlockStmt, *ast.File, *ast.GenDecl, *ast.FuncDecl,
+					*ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+					*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.CaseClause, *ast.CommClause:
+					return true
+				}
+				onlyComment = false
+				return false
+			}
+			return true
+		}
+		return true
+	})
+	return onlyComment
+}
+
+// suppressed consumes a matching suppression for the diagnostic, if any.
+func suppressed(sups []*suppression, analyzer string, pos token.Position) bool {
+	hit := false
+	for _, s := range sups {
+		if s.analyzer != analyzer || s.file != pos.Filename {
+			continue
+		}
+		if pos.Line == s.lines[0] || pos.Line == s.lines[1] {
+			s.used = true
+			hit = true
+		}
+	}
+	return hit
+}

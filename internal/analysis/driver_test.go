@@ -1,0 +1,102 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// The fixture exercises every suppression shape against a toy analyzer
+// that flags functions named bad*: same-line and own-line suppressions
+// silence, an unused suppression is reported, and a suppression missing
+// its reason (or everything) is malformed AND does not silence.
+const driverSrc = `package p
+
+func bad1() {}
+
+//phlint:ignore funcflag bad2 is intentional
+func bad2() {}
+
+func good() {}
+
+func bad3() {} //phlint:ignore funcflag same-line exception
+
+//phlint:ignore funcflag stale, nothing on the next line fires
+func good2() {}
+
+//phlint:ignore funcflag
+func bad4() {}
+
+//phlint:ignore
+func bad5() {}
+`
+
+var funcflag = &analysis.Analyzer{
+	Name: "funcflag",
+	Doc:  "flags functions named bad*",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "bad") {
+					pass.Reportf(fd.Pos(), "function %s is bad", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestDriverSuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", driverSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := &analysis.Target{Path: "p", Fset: fset, Files: []*ast.File{file}, Pkg: pkg, Info: info}
+
+	findings, err := analysis.Run(target, []*analysis.Analyzer{funcflag})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type expect struct {
+		line     int
+		analyzer string
+		fragment string
+	}
+	expects := []expect{
+		{3, "funcflag", "bad1 is bad"},
+		{12, "phlint", "unused phlint:ignore"},
+		{15, "phlint", "needs a reason"},
+		{16, "funcflag", "bad4 is bad"}, // malformed suppression does not silence
+		{18, "phlint", "needs an analyzer name"},
+		{19, "funcflag", "bad5 is bad"},
+	}
+	if len(findings) != len(expects) {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+		t.Fatalf("got %d findings, want %d", len(findings), len(expects))
+	}
+	for i, e := range expects {
+		f := findings[i]
+		if f.Position.Line != e.line || f.Analyzer != e.analyzer || !strings.Contains(f.Message, e.fragment) {
+			t.Errorf("finding %d = %s; want line %d analyzer %s containing %q", i, f, e.line, e.analyzer, e.fragment)
+		}
+	}
+}

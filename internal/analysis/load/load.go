@@ -1,0 +1,160 @@
+// Package load turns Go packages into analysis.Targets using only the
+// standard library and the go tool itself: `go list -export` supplies
+// package metadata and compiled export data for dependencies, and the
+// target packages are parsed and type-checked from source. This is the
+// stdlib-only replacement for golang.org/x/tools/go/packages that the
+// phlint driver and the analysistest harness share.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/analysis"
+)
+
+// listPackage is the slice of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir over the patterns
+// and decodes the package stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Packages loads every package matching the patterns (relative to dir),
+// parsed and type-checked, ready for the analysis driver. Dependencies —
+// including the standard library — are resolved from export data, so
+// loading is offline and does not re-type-check the world.
+func Packages(dir string, patterns ...string) ([]*analysis.Target, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var targets []*analysis.Target
+	for _, p := range pkgs {
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		t, err := Check(p.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	return targets, nil
+}
+
+// ExportImporter returns a types importer that resolves import paths
+// through compiled export data files, located by the lookup function
+// (import path → export file path).
+func ExportImporter(fset *token.FileSet, lookup func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Check parses the named files and type-checks them as one package.
+func Check(path string, fset *token.FileSet, filenames []string, imp types.Importer) (*analysis.Target, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	return &analysis.Target{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// ExportsFor shells out once to resolve export data for the given
+// import paths and their transitive dependencies, for callers (the
+// analysistest harness) that type-check loose files instead of listed
+// packages.
+func ExportsFor(paths ...string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	pkgs, err := goList("", paths)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

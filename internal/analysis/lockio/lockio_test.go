@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockio"
+)
+
+func TestLockio(t *testing.T) {
+	analysistest.Run(t, "testdata", lockio.Analyzer, "storage")
+}

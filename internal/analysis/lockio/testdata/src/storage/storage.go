@@ -1,0 +1,100 @@
+// Fixture for the lockio analyzer: write-lock regions around fsync,
+// network I/O, sleeps, and transitive same-package calls.
+package storage
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+type tableEntry struct {
+	mu   sync.RWMutex
+	rows []string
+}
+
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	conn net.Conn
+}
+
+// appendHostile is the PR3 regression shape: fsync while holding the
+// catalogue mutex stalls every other table in the process.
+func (s *Store) appendHostile(rec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(rec); err != nil {
+		return err
+	}
+	return s.f.Sync() // want `fsync while s.mu is write-locked`
+}
+
+func (s *Store) sleepHostile() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while s.mu is write-locked`
+	s.mu.Unlock()
+}
+
+func (s *Store) netHostile(buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn.Write(buf) // want `net I/O while s.mu is write-locked`
+}
+
+func (t *tableEntry) compactHostile(f *os.File) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return f.Sync() // want `fsync while t.mu is write-locked`
+}
+
+func (s *Store) flush() error {
+	return s.f.Sync()
+}
+
+func (s *Store) syncNow() error { return s.flush() }
+
+// commitHostile reaches the fsync through two same-package hops; the
+// finding names the chain.
+func (s *Store) commitHostile() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncNow() // want `fsync \(syncNow -> flush\) while s.mu is write-locked`
+}
+
+// appendStaged is clean: stage under the lock, flush after releasing.
+func (s *Store) appendStaged(rec []byte) error {
+	s.mu.Lock()
+	buf := append([]byte(nil), rec...)
+	s.mu.Unlock()
+	if _, err := s.f.Write(buf); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// scan is clean: a read lock does not serialise writers.
+func (t *tableEntry) scan() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	time.Sleep(time.Microsecond)
+	return len(t.rows)
+}
+
+// asyncFlush is clean: the goroutine body runs outside the region.
+func (s *Store) asyncFlush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.f.Sync()
+	}()
+}
+
+// Close takes a documented exception for the shutdown path.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//phlint:ignore lockio shutdown path: no readers remain, a final flush under the lock is harmless
+	return s.f.Sync()
+}

@@ -1,0 +1,23 @@
+// Package suite is the phlint analyzer registry: the five checks that
+// mechanically enforce the repo's security and durability invariants
+// (see DESIGN.md, layer 12). cmd/phlint and the tests both consume it
+// so the gate and the fixtures can never disagree about what runs.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/clampalloc"
+	"repro/internal/analysis/cryptorand"
+	"repro/internal/analysis/ctcompare"
+	"repro/internal/analysis/lockio"
+	"repro/internal/analysis/syncack"
+)
+
+// All lists every phlint analyzer, in the order findings are attributed.
+var All = []*analysis.Analyzer{
+	clampalloc.Analyzer,
+	ctcompare.Analyzer,
+	cryptorand.Analyzer,
+	lockio.Analyzer,
+	syncack.Analyzer,
+}

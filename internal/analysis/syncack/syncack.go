@@ -1,0 +1,311 @@
+// Package syncack enforces the storage layer's durability honesty: a
+// durability signal — advancing the synced-sequence watermark, closing
+// an ack/waiter channel — must be dominated by a checked fsync, and
+// errors from Sync/Truncate/Close must not be silently discarded. This
+// is the class PR7's fault-injection harness caught dynamically
+// (acknowledging a commit whose bytes never reached the platter turns a
+// crash into silent data loss); the analyzer catches it at build time.
+//
+// Two checks:
+//
+//  1. Discarded errors. A call to a method named Sync or Truncate that
+//     returns an error must have that error consumed: bare expression
+//     statements, defers, and `_ =` discards are all findings — an
+//     unchecked fsync is indistinguishable from a failed one. Close is
+//     slightly softer: `defer f.Close()` and explicit `_ = f.Close()`
+//     are idiomatic cleanup, but a bare `f.Close()` statement silently
+//     drops the last chance to see a write-back error.
+//
+//  2. Signal domination. Within a function, an assignment to a
+//     durability watermark (sseq, durableSeq, durable, acked) or a
+//     close() of an ack/waiter/commit channel must be preceded — in
+//     source order — by sync evidence: a checked call to a Sync method
+//     or to a same-package function that is itself sync-certified
+//     (its body checks or returns a Sync error, transitively).
+//
+// Signals that are genuinely covered elsewhere (the caller fsynced the
+// file before handing it over) take a //phlint:ignore with the reason.
+package syncack
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the syncack analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "syncack",
+	Doc: "durability signals must be dominated by a checked Sync/flush, and " +
+		"Sync/Truncate/Close errors must not be discarded",
+	Match: func(path string) bool {
+		return analysis.PathHasSegment(path, "storage")
+	},
+	Run: run,
+}
+
+// signalLHS matches field/variable names that act as durability
+// watermarks when assigned.
+var signalLHS = regexp.MustCompile(`(?i)^(sseq|durableseq|durable|acked)$`)
+
+// signalChan matches channel names whose close() tells a waiter its
+// write is durable.
+var signalChan = regexp.MustCompile(`(?i)(ack|waiter|durable|commit)`)
+
+func run(pass *analysis.Pass) error {
+	st := &state{pass: pass, certified: map[*types.Func]bool{}}
+	st.certify()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				st.checkDiscards(fd)
+				st.checkSignals(fd)
+			}
+		}
+	}
+	return nil
+}
+
+type state struct {
+	pass      *analysis.Pass
+	decls     map[*types.Func]*ast.FuncDecl
+	certified map[*types.Func]bool
+}
+
+// certify computes, to fixpoint, the same-package functions whose call
+// counts as sync evidence: their bodies check or return a Sync error,
+// directly or through another certified function.
+func (st *state) certify() {
+	st.decls = map[*types.Func]*ast.FuncDecl{}
+	for _, f := range st.pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := st.pass.Info.Defs[fd.Name].(*types.Func); ok {
+					st.decls[fn] = fd
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range st.decls {
+			if st.certified[fn] {
+				continue
+			}
+			if len(st.evidence(fd.Body)) > 0 {
+				st.certified[fn] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// evidence returns the source positions in the body where a Sync error
+// is visibly consumed: assigned to a non-blank variable, tested in an
+// if condition, or returned. Calls to certified same-package functions
+// qualify the same way.
+func (st *state) evidence(body *ast.BlockStmt) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if st.anyQualifying(n.Rhs) && hasNonBlank(n.Lhs) {
+				out = append(out, n.Pos())
+			}
+		case *ast.IfStmt:
+			if st.anyQualifying([]ast.Expr{n.Cond}) {
+				out = append(out, n.Pos())
+			}
+		case *ast.ReturnStmt:
+			if st.anyQualifying(n.Results) {
+				out = append(out, n.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// anyQualifying reports whether any expression contains a call that
+// produces sync evidence.
+func (st *state) anyQualifying(exprs []ast.Expr) bool {
+	found := false
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if st.isSyncMethod(call) {
+				found = true
+				return false
+			}
+			if callee := st.calleeInPackage(call); callee != nil && st.certified[callee] {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// isSyncMethod recognises a zero-argument Sync() method call.
+func (st *state) isSyncMethod(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sync" || len(call.Args) != 0 {
+		return false
+	}
+	obj, ok := st.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// calleeInPackage resolves a call to a function declared in this package.
+func (st *state) calleeInPackage(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := st.pass.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if _, declared := st.decls[fn]; !declared {
+		return nil
+	}
+	return fn
+}
+
+// checkSignals flags durability signals not preceded by sync evidence.
+func (st *state) checkSignals(fd *ast.FuncDecl) {
+	ev := st.evidence(fd.Body)
+	sort.Slice(ev, func(i, j int) bool { return ev[i] < ev[j] })
+	dominated := func(pos token.Pos) bool {
+		return len(ev) > 0 && ev[0] < pos
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				name := finalName(lhs)
+				if name != "" && signalLHS.MatchString(name) && !dominated(lhs.Pos()) {
+					st.pass.Reportf(lhs.Pos(),
+						"durability signal (%s assignment) is not dominated by a checked Sync/flush in this function", name)
+				}
+			}
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || id.Name != "close" || len(n.Args) != 1 {
+				return true
+			}
+			if _, isBuiltin := st.pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			name := finalName(n.Args[0])
+			if name != "" && signalChan.MatchString(name) && !dominated(n.Pos()) {
+				st.pass.Reportf(n.Pos(),
+					"durability signal (close(%s)) is not dominated by a checked Sync/flush in this function", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkDiscards flags dropped Sync/Truncate/Close errors.
+func (st *state) checkDiscards(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if name := st.errMethodName(n.X); name != "" {
+				st.pass.Reportf(n.Pos(),
+					"error from %s is discarded; an unchecked %s is indistinguishable from a failed one", name, name)
+			}
+		case *ast.DeferStmt:
+			if name := st.errMethodName(n.Call); name == "Sync" || name == "Truncate" {
+				st.pass.Reportf(n.Pos(),
+					"error from deferred %s is discarded; check it in a named-return defer or call it inline", name)
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 || hasNonBlank(n.Lhs) {
+				return true
+			}
+			if name := st.errMethodName(n.Rhs[0]); name == "Sync" || name == "Truncate" {
+				st.pass.Reportf(n.Pos(),
+					"error from %s is blank-discarded; durability depends on this call succeeding", name)
+			}
+		}
+		return true
+	})
+}
+
+// errMethodName reports the method name when the expression is a call
+// to a Sync/Truncate/Close method returning exactly one error.
+func (st *state) errMethodName(e ast.Expr) string {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if name != "Sync" && name != "Truncate" && name != "Close" {
+		return ""
+	}
+	obj, ok := st.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return ""
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	if !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+		return ""
+	}
+	return name
+}
+
+// finalName extracts the rightmost identifier of an lvalue/operand.
+func finalName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// hasNonBlank reports whether any LHS is a non-blank identifier (or a
+// selector, which always consumes the value).
+func hasNonBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		if id, ok := e.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		return true
+	}
+	return false
+}

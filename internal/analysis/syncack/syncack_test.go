@@ -1,0 +1,12 @@
+package syncack_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/syncack"
+)
+
+func TestSyncack(t *testing.T) {
+	analysistest.Run(t, "testdata", syncack.Analyzer, "storage")
+}

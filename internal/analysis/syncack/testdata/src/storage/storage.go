@@ -1,0 +1,96 @@
+// Fixture for the syncack analyzer: watermark advances, ack-channel
+// closes, and discarded durability errors.
+package storage
+
+import "os"
+
+type walWriter struct {
+	f    *os.File
+	sseq uint64
+}
+
+// ackHostile is the durability-lie shape: the synced watermark advances
+// with no fsync evidence anywhere in the function.
+func (w *walWriter) ackHostile(seq uint64) {
+	w.sseq = seq // want `durability signal`
+}
+
+// ackSynced is clean: a checked Sync dominates the signal.
+func (w *walWriter) ackSynced(seq uint64) error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.sseq = seq
+	return nil
+}
+
+// flushAndSync is sync-certified: it returns the Sync error.
+func (w *walWriter) flushAndSync() error {
+	return w.f.Sync()
+}
+
+// ackViaHelper is clean: the certified helper's checked call counts as
+// evidence.
+func (w *walWriter) ackViaHelper(seq uint64) error {
+	if err := w.flushAndSync(); err != nil {
+		return err
+	}
+	w.sseq = seq
+	return nil
+}
+
+// notifyHostile closes an ack channel with no fsync behind it.
+func notifyHostile(ackCh chan struct{}) {
+	close(ackCh) // want `durability signal`
+}
+
+// notifySynced is clean.
+func notifySynced(f *os.File, ackCh chan struct{}) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	close(ackCh)
+	return nil
+}
+
+// installBlessed takes the documented exception: the caller fsynced the
+// replacement file before handing it over.
+func (w *walWriter) installBlessed(seq uint64) {
+	//phlint:ignore syncack compaction fsyncs the replacement file before install
+	w.sseq = seq
+}
+
+func discardSync(f *os.File) {
+	f.Sync() // want `discarded`
+}
+
+func blankSync(f *os.File) {
+	_ = f.Sync() // want `blank-discarded`
+}
+
+func deferSync(f *os.File) {
+	defer f.Sync() // want `deferred Sync`
+}
+
+func discardTruncate(f *os.File) {
+	f.Truncate(0) // want `discarded`
+}
+
+func discardClose(f *os.File) {
+	f.Close() // want `discarded`
+}
+
+// deferClose is clean: idiomatic cleanup.
+func deferClose(f *os.File) {
+	defer f.Close()
+}
+
+// blankClose is clean: the discard is explicit.
+func blankClose(f *os.File) {
+	_ = f.Close()
+}
+
+// checkedTruncate is clean.
+func checkedTruncate(f *os.File) error {
+	return f.Truncate(0)
+}

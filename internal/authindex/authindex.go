@@ -260,6 +260,7 @@ func Verify(root []byte, leafCount int, tuple ph.EncryptedTuple, proof Proof) er
 	if s != len(proof.Siblings) {
 		return fmt.Errorf("authindex: proof has %d unused siblings", len(proof.Siblings)-s)
 	}
+	//phlint:ignore ctcompare Merkle roots are public commitments published to every client, not secrets
 	if !bytes.Equal(cur, root) {
 		return fmt.Errorf("authindex: root mismatch: computed %x, want %x", cur, root)
 	}
@@ -289,13 +290,8 @@ func DecodeProofs(r *wire.Buffer) ([]Proof, error) {
 	// could possibly encode (a proof is at least position + sibling
 	// count), so a hostile declared count cannot force a huge allocation;
 	// the loop still reads exactly the declared count and fails on a
-	// short buffer. Compare in uint64: int(n) would go negative on 32-bit
-	// platforms for counts above MaxInt32 and panic make().
-	capHint := r.Remaining() / 8
-	if uint64(n) < uint64(capHint) {
-		capHint = int(n)
-	}
-	proofs := make([]Proof, 0, capHint)
+	// short buffer.
+	proofs := make([]Proof, 0, wire.ClampCount(n, r.Remaining()/8))
 	for i := uint32(0); i < n; i++ {
 		var p Proof
 		pos, err := r.U32()

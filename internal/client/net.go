@@ -165,7 +165,7 @@ func (c *Conn) ShipLog(epoch, from uint64, maxBytes uint32) (*LogChunk, error) {
 	if int(n) > r.Remaining() {
 		return nil, fmt.Errorf("client: log chunk count %d exceeds remaining payload", n)
 	}
-	ch.Records = make([]wire.LogRecord, 0, n)
+	ch.Records = make([]wire.LogRecord, 0, wire.ClampCount(n, r.Remaining()/5))
 	for i := uint32(0); i < n; i++ {
 		op, err := r.U8()
 		if err != nil {

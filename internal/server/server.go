@@ -337,22 +337,6 @@ func (s *Server) queryBatch(name string, queries []*ph.EncryptedQuery) ([]*ph.Re
 	return results, nil
 }
 
-// clampCount bounds a wire-declared element count by what the remaining
-// payload could possibly hold, for use as a slice preallocation hint. The
-// decode loop still reads exactly the declared count; this only stops a
-// hostile count in a small frame from forcing a huge allocation.
-func clampCount(declared uint32, possible int) int {
-	if possible < 0 {
-		possible = 0
-	}
-	// Compare in uint64: int(declared) would go negative on 32-bit
-	// platforms for counts above MaxInt32 and panic make().
-	if uint64(declared) < uint64(possible) {
-		return int(declared)
-	}
-	return possible
-}
-
 // dispatch executes one command frame and builds the response frame.
 // scratch is a zero-length reusable buffer response payloads are appended
 // onto; the returned frame's payload may alias it (or a grown successor).
@@ -400,7 +384,7 @@ func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 		if err != nil {
 			return wire.Frame{}, err
 		}
-		tuples := make([]ph.EncryptedTuple, 0, clampCount(n, r.Remaining()/8))
+		tuples := make([]ph.EncryptedTuple, 0, wire.ClampCount(n, r.Remaining()/8))
 		for i := uint32(0); i < n; i++ {
 			tp, err := wire.DecodeTuple(r)
 			if err != nil {
@@ -450,7 +434,7 @@ func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 		// Capacity is clamped by what the payload could possibly encode
 		// (a query is at least two length-prefixed fields), so a declared
 		// count in a hostile frame cannot force a huge allocation.
-		queries := make([]*ph.EncryptedQuery, 0, clampCount(n, r.Remaining()/8))
+		queries := make([]*ph.EncryptedQuery, 0, wire.ClampCount(n, r.Remaining()/8))
 		for i := uint32(0); i < n; i++ {
 			q, err := wire.DecodeQuery(r)
 			if err != nil {
@@ -525,7 +509,7 @@ func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 		// The preallocation is clamped by what the payload could
 		// possibly hold (4 bytes per position) — a hostile count in a
 		// small frame must not force a count-proportional allocation.
-		positions := make([]int, 0, clampCount(n, r.Remaining()/4))
+		positions := make([]int, 0, wire.ClampCount(n, r.Remaining()/4))
 		for i := uint32(0); i < n; i++ {
 			p, err := r.U32()
 			if err != nil {
@@ -573,7 +557,7 @@ func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
 		}
 		// Clamped like CmdQueryBatch: a declared count in a hostile frame
 		// cannot force a huge allocation.
-		queries := make([]*ph.EncryptedQuery, 0, clampCount(n, r.Remaining()/8))
+		queries := make([]*ph.EncryptedQuery, 0, wire.ClampCount(n, r.Remaining()/8))
 		for i := uint32(0); i < n; i++ {
 			q, err := wire.DecodeQuery(r)
 			if err != nil {

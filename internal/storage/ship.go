@@ -91,12 +91,12 @@ func writeSidecar(path string, contents []byte, what string) error {
 		return fmt.Errorf("storage: creating %s sidecar: %w", what, err)
 	}
 	if _, err := f.Write(contents); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("storage: writing %s sidecar: %w", what, err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("storage: syncing %s sidecar: %w", what, err)
 	}
@@ -225,6 +225,7 @@ func loadShipBase(path string, ownEpoch uint64) (shipBase, bool) {
 func (s *Store) SetShipBase(primaryEpoch, primarySeq uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//phlint:ignore lockio the sidecar fsync must run while s.mu freezes the base/log state it records
 	return s.setShipBaseLocked(primaryEpoch, primarySeq)
 }
 
@@ -470,7 +471,7 @@ func (s *Store) ApplyShipped(rec wire.LogRecord) error {
 		if int(n) > r.Remaining() {
 			return fmt.Errorf("storage: shipped insert record: tuple count %d exceeds payload", n)
 		}
-		tuples := make([]ph.EncryptedTuple, 0, n)
+		tuples := make([]ph.EncryptedTuple, 0, wire.ClampCount(n, r.Remaining()/8))
 		for i := uint32(0); i < n; i++ {
 			tp, err := wire.DecodeTuple(r)
 			if err != nil {
@@ -512,6 +513,7 @@ func (s *Store) Reset() error {
 			unlockEntries(entries, false)
 			return fmt.Errorf("storage: creating reset log: %w", err)
 		}
+		//phlint:ignore lockio log rotation is stop-the-world by design: every table is quiesced and the swap must be atomic with the catalogue
 		if err := s.rotateLog(tmp, tmpPath, 0, 0); err != nil {
 			unlockEntries(entries, false)
 			return err

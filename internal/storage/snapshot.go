@@ -223,8 +223,8 @@ func decodeSnapshot(b []byte) ([]snapRecord, ShipCursor, error) {
 		return nil, ShipCursor{}, fmt.Errorf("storage: snapshot total checksum mismatch")
 	}
 	body := b[snapHdrLen : len(b)-4]
-	recs := make([]snapRecord, 0, min(int(count), 1024))
-	seen := make(map[string]bool, min(int(count), 1024))
+	recs := make([]snapRecord, 0, wire.ClampCount(count, 1024))
+	seen := make(map[string]bool, wire.ClampCount(count, 1024))
 	for i := uint32(0); i < count; i++ {
 		if len(body) < 4 {
 			return nil, ShipCursor{}, fmt.Errorf("storage: snapshot record %d: truncated length", i)
@@ -301,13 +301,14 @@ func (s *Store) InstallSnapshot(data []byte) (ShipCursor, error) {
 		for _, rec := range recs {
 			buf = appendWALRecord(buf[:0], opStore, rec.payload)
 			if _, err := tmp.Write(buf); err != nil {
-				tmp.Close()
+				_ = tmp.Close()
 				os.Remove(tmpPath)
 				unlockEntries(entries, false)
 				return ShipCursor{}, fmt.Errorf("storage: writing snapshot-install log: %w", err)
 			}
 			size += int64(len(buf))
 		}
+		//phlint:ignore lockio log rotation is stop-the-world by design: every table is quiesced and the swap must be atomic with the catalogue
 		if err := s.rotateLog(tmp, tmpPath, size, uint64(len(recs))); err != nil {
 			unlockEntries(entries, false)
 			return ShipCursor{}, err
@@ -328,6 +329,7 @@ func (s *Store) InstallSnapshot(data []byte) (ShipCursor, error) {
 		s.snapBuf = nil
 		s.snapMu.Unlock()
 	}
+	//phlint:ignore lockio the sidecar fsync must run while s.mu freezes the base/log state it records
 	if err := s.setShipBaseLocked(cur.Epoch, cur.Seq); err != nil {
 		// A failed sidecar write only costs a re-bootstrap after the next
 		// restart; the in-memory base is sound for this process.

@@ -282,7 +282,7 @@ func OpenOptions(path string, opts Options) (*Store, error) {
 	}
 	info, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("storage: stat log %s: %w", path, err)
 	}
 	s.wrapLog = opts.WrapLog
@@ -1003,7 +1003,7 @@ func (s *Store) Compact() error {
 		return fmt.Errorf("storage: creating compaction file: %w", err)
 	}
 	abort := func(e error) error {
-		tmp.Close()
+		_ = tmp.Close()
 		os.Remove(tmpPath)
 		return e
 	}
@@ -1025,6 +1025,7 @@ func (s *Store) Compact() error {
 		}
 		size += int64(len(buf))
 	}
+	//phlint:ignore lockio log rotation is stop-the-world by design: every table is quiesced and the swap must be atomic with the catalogue
 	return s.rotateLog(tmp, tmpPath, size, uint64(len(names)))
 }
 
@@ -1043,7 +1044,7 @@ func (s *Store) Compact() error {
 // new file, which silently diverges.
 func (s *Store) rotateLog(tmp *os.File, tmpPath string, size int64, recs uint64) error {
 	abort := func(e error) error {
-		tmp.Close()
+		_ = tmp.Close()
 		os.Remove(tmpPath)
 		return e
 	}

@@ -436,7 +436,7 @@ func (w *walWriter) installFile(f LogFile, size int64, recs uint64) error {
 		w.barrier = false
 		w.scond.Broadcast()
 		w.sm.Unlock()
-		f.Close()
+		_ = f.Close()
 		return errLogClosed
 	}
 	old := w.f
@@ -451,6 +451,7 @@ func (w *walWriter) installFile(f LogFile, size int64, recs uint64) error {
 	w.sm.Lock()
 	w.barrier = false
 	if seq > w.sseq {
+		//phlint:ignore syncack rotateLog fsynced the replacement file before handing it to installFile
 		w.sseq = seq
 	}
 	w.serr = nil

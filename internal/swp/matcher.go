@@ -1,7 +1,7 @@
 package swp
 
 import (
-	"bytes"
+	"crypto/hmac"
 
 	"repro/internal/crypto"
 )
@@ -77,7 +77,14 @@ func (m *Matcher) Match(cipherword []byte) bool {
 		m.want[i] = cipherword[nm+i] ^ m.x[nm+i]
 	}
 	m.kprf.ChecksumInto(m.got, m.stream)
-	return bytes.Equal(m.got, m.want)
+	// The checksum comparison must be constant-time: got is PRF output
+	// derived from trapdoor key material, and an early-exit bytes.Equal
+	// would leak how many leading checksum bytes a crafted cipherword
+	// matched, giving an adaptive adversary a byte-at-a-time oracle
+	// against F_k. hmac.Equal (crypto/subtle underneath) examines every
+	// byte regardless of where the first mismatch falls, and allocates
+	// nothing, preserving Match's 0 allocs/op contract.
+	return hmac.Equal(m.got, m.want)
 }
 
 // Search appends the positions of all cipherwords matching the trapdoor to

@@ -1,0 +1,31 @@
+package wire
+
+// ClampCount bounds a wire-declared element count for use as a slice or
+// map preallocation hint. It is the single blessed sink for the
+// hostile-count discipline every decoder in the protocol follows: a
+// count field read off the wire is attacker-controlled, so it must
+// never reach make() unbounded — a 10-byte frame declaring 2^32
+// elements would otherwise force a multi-gigabyte allocation before
+// the decode loop notices the payload is short.
+//
+// possible is the largest element count the caller considers plausible:
+// either a fixed cap, or the remaining payload length divided by the
+// minimum encoded size of one element (so the hint can never exceed
+// what the payload could actually hold). The decode loop must still
+// read exactly the declared count and fail on a short buffer; ClampCount
+// only bounds the allocation, it does not validate the count.
+//
+// The static analyzer cmd/phlint (clampalloc) enforces that decode-path
+// allocations flow through this helper, the min() builtin, or an
+// explicit validated guard.
+func ClampCount(declared uint32, possible int) int {
+	if possible < 0 {
+		possible = 0
+	}
+	// Compare in uint64: int(declared) would go negative on 32-bit
+	// platforms for counts above MaxInt32 and panic make().
+	if uint64(declared) < uint64(possible) {
+		return int(declared)
+	}
+	return possible
+}

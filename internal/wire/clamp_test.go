@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClampCount(t *testing.T) {
+	cases := []struct {
+		declared uint32
+		possible int
+		want     int
+	}{
+		{0, 1024, 0},
+		{5, 1024, 5},
+		{1024, 1024, 1024},
+		{1025, 1024, 1024},
+		{math.MaxUint32, 1024, 1024},
+		// A hostile count must never win against a small payload bound.
+		{math.MaxUint32, 3, 3},
+		// A negative bound (e.g. Remaining()/8 after an underflowing
+		// subtraction upstream) clamps to zero, never panics make().
+		{7, -1, 0},
+		{7, 0, 0},
+		// Counts above MaxInt32 must not wrap negative via int().
+		{math.MaxInt32 + 1, math.MaxInt32, math.MaxInt32},
+	}
+	for _, c := range cases {
+		if got := ClampCount(c.declared, c.possible); got != c.want {
+			t.Errorf("ClampCount(%d, %d) = %d, want %d", c.declared, c.possible, got, c.want)
+		}
+	}
+}
+
+// TestClampCountIsAllocationSafe pins the property the clampalloc
+// analyzer assumes: whatever the declared count, the hint is bounded by
+// the caller-supplied possible value, so make() with the result cannot
+// be a hostile allocation bomb.
+func TestClampCountIsAllocationSafe(t *testing.T) {
+	for _, declared := range []uint32{0, 1, 1 << 10, 1 << 20, math.MaxUint32} {
+		for _, possible := range []int{-5, 0, 1, 64, 1024} {
+			got := ClampCount(declared, possible)
+			if got < 0 {
+				t.Fatalf("ClampCount(%d, %d) = %d is negative", declared, possible, got)
+			}
+			if possible >= 0 && got > possible {
+				t.Fatalf("ClampCount(%d, %d) = %d exceeds possible", declared, possible, got)
+			}
+		}
+	}
+}

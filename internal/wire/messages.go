@@ -68,7 +68,7 @@ func DecodeTable(r *Buffer) (*ph.EncryptedTable, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: table tuple count: %w", err)
 	}
-	t.Tuples = make([]ph.EncryptedTuple, 0, min(int(n), 1024))
+	t.Tuples = make([]ph.EncryptedTuple, 0, ClampCount(n, 1024))
 	for i := uint32(0); i < n; i++ {
 		tp, err := DecodeTuple(r)
 		if err != nil {
@@ -133,7 +133,7 @@ func DecodeResult(r *Buffer) (*ph.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: result tuple count: %w", err)
 	}
-	res.Tuples = make([]ph.EncryptedTuple, 0, min(int(nt), 1024))
+	res.Tuples = make([]ph.EncryptedTuple, 0, ClampCount(nt, 1024))
 	for i := uint32(0); i < nt; i++ {
 		tp, err := DecodeTuple(r)
 		if err != nil {
@@ -171,7 +171,7 @@ func DecodeList(r *Buffer) ([]TableInfo, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: list length: %w", err)
 	}
-	infos := make([]TableInfo, 0, min(int(n), 1024))
+	infos := make([]TableInfo, 0, ClampCount(n, 1024))
 	for i := uint32(0); i < n; i++ {
 		var ti TableInfo
 		if ti.Name, err = r.String(); err != nil {
