@@ -12,6 +12,12 @@
 //
 //	phclient -addr localhost:7632 -config client.json -passphrase 'my secret'
 //
+// If the config carries a "shards" section the shell runs against the
+// sharded serving tier instead: it builds an in-process scatter-gather
+// coordinator over the listed shard backends (the list order is the
+// partition map), -addr is ignored, and every verified read checks each
+// shard's sub-answer against a pinned per-shard root vector.
+//
 // With -explain the shell prints the chosen query plan (conjunct order,
 // estimated selectivities, cache state) for each SQL statement instead
 // of executing it; a one-off `\explain SELECT ...` does the same for a
@@ -49,6 +55,8 @@ import (
 	"repro/internal/schemes/damiani"
 	"repro/internal/schemes/detph"
 	"repro/internal/schemes/gohph"
+	"repro/internal/shard"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -69,20 +77,54 @@ func main() {
 	}
 	master := crypto.KeyFromBytes([]byte(*passphrase))
 
+	var cfg *client.Config
+	if *configPath != "" {
+		var err error
+		cfg, err = client.LoadConfig(*configPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phclient: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	sh := &shell{explain: *explain}
+	if cfg != nil && cfg.Shards != nil {
+		// Sharded catalog mode: the config's shards section IS the
+		// partition map; the shell scatters through an in-process
+		// coordinator and -addr is ignored.
+		co, err := shard.FromConfig(cfg.Shards, cfg.Net.DialConfig())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phclient: %v\n", err)
+			os.Exit(1)
+		}
+		defer co.Close()
+		cat, err := cfg.AttachAllSharded(co, master)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "phclient: %v\n", err)
+			os.Exit(2)
+		}
+		sh.cluster = co
+		sh.catalog = cat
+		names := cat.Names()
+		if len(names) > 0 {
+			sh.current, _ = cat.DB(names[0])
+			sh.currentName = names[0]
+		}
+		fmt.Printf("connected to %d shards (partition map v%d); catalog tables: %s\n",
+			co.NumShards(), co.MapVersion(), strings.Join(names, ", "))
+		repl(sh)
+		return
+	}
+
 	conn, err := client.Dial(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phclient: %v\n", err)
 		os.Exit(1)
 	}
 	defer conn.Close()
+	sh.conn = conn
 
-	sh := &shell{conn: conn, explain: *explain}
-	if *configPath != "" {
-		cfg, err := client.LoadConfig(*configPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "phclient: %v\n", err)
-			os.Exit(2)
-		}
+	if cfg != nil {
 		cat, err := cfg.AttachAll(conn, master)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "phclient: %v\n", err)
@@ -120,8 +162,12 @@ func main() {
 		sh.currentName = *table
 		fmt.Printf("connected to %s; table %q, scheme %s, schema %s\n", *addr, *table, scheme.Name(), schema)
 	}
-	fmt.Println(`type SQL, or \use T, \seed N, \load f.csv, \export f.csv, \insert v1,v2,..., \all, \list, \drop, \quit`)
+	repl(sh)
+}
 
+// repl runs the interactive loop until EOF or \quit.
+func repl(sh *shell) {
+	fmt.Println(`type SQL, or \use T, \seed N, \load f.csv, \export f.csv, \insert v1,v2,..., \all, \list, \drop, \quit`)
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Printf("alex[%s]> ", sh.currentName)
@@ -144,11 +190,13 @@ func main() {
 
 var errQuit = fmt.Errorf("quit")
 
-// shell holds the REPL state: the connection, the catalog, the table
-// backslash commands act on, and whether SQL statements are explained
-// instead of executed.
+// shell holds the REPL state: the connection (or the sharded
+// coordinator when the config carries a shards section), the catalog,
+// the table backslash commands act on, and whether SQL statements are
+// explained instead of executed.
 type shell struct {
 	conn        *client.Conn
+	cluster     *shard.Coordinator
 	catalog     *client.Catalog
 	current     *client.DB
 	currentName string
@@ -171,7 +219,13 @@ func (sh *shell) execute(line string) error {
 		sh.currentName = name
 		return nil
 	case line == `\list`:
-		infos, err := sh.conn.List()
+		var infos []wire.TableInfo
+		var err error
+		if sh.cluster != nil {
+			infos, err = sh.cluster.List()
+		} else {
+			infos, err = sh.conn.List()
+		}
 		if err != nil {
 			return err
 		}
@@ -180,6 +234,9 @@ func (sh *shell) execute(line string) error {
 		}
 		return nil
 	case line == `\drop`:
+		if sh.cluster != nil {
+			return sh.cluster.Drop(sh.currentName)
+		}
 		return sh.conn.Drop(sh.currentName)
 	case line == `\all`:
 		if db == nil {

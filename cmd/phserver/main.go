@@ -6,6 +6,7 @@
 //
 //	phserver [-addr :7632] [-log /path/to/store.log] [-sync always|interval|never] [-sync-interval 100ms]
 //	phserver [-addr :7633] -replica-of primary:7632 [-poll 100ms] [-log /path/to/replica.log]
+//	phserver [-addr :7640] -coordinator -shards host1:7632,host2:7632 [-shard-map-version 1]
 //
 // With -log the store is durable: mutations are appended to a
 // checksummed write-ahead log and replayed on restart (torn or corrupt
@@ -28,6 +29,17 @@
 // -log: a durable replica persists what it replays and resumes tailing
 // from its recorded cursor after a restart instead of re-bootstrapping.
 //
+// With -coordinator the server holds no store at all: it is the
+// scatter-gather tier over the -shards backends (comma-separated
+// addresses, whose *order is the partition map* — it must match the
+// clients' shards config, as must -shard-map-version). Reads scatter to
+// every shard and come back framed per shard, so verifying clients
+// check each sub-answer against their pinned per-shard root vector; a
+// coordinator remains exactly as untrusted as any single server.
+// -shard-replicas attaches read replicas per shard index, e.g.
+// "0=r1:7633,r2:7633;2=r3:7633" (followers attach per shard — the
+// coordinator itself cannot be tailed).
+//
 // -idle-timeout, -write-timeout and -max-conns bound per-connection
 // I/O and the connection count on any server (0 = unlimited).
 package main
@@ -39,12 +51,15 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/replica"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/storage"
 
 	// Register the key-free evaluators for every scheme this server can
@@ -64,6 +79,10 @@ func main() {
 		syncIvl   = flag.Duration("sync-interval", storage.DefaultSyncInterval, "background fsync period under -sync interval")
 		replicaOf = flag.String("replica-of", "", "run as a read replica tailing this primary address")
 		poll      = flag.Duration("poll", 100*time.Millisecond, "replica poll interval once caught up")
+		coord     = flag.Bool("coordinator", false, "run as a scatter-gather coordinator over -shards (no local store)")
+		shards    = flag.String("shards", "", "comma-separated shard backend addresses, in partition-map order")
+		shardVer  = flag.Uint64("shard-map-version", 1, "partition map version (must match client configs)")
+		shardReps = flag.String("shard-replicas", "", "per-shard read replicas, e.g. \"0=r1:7633,r2:7633;2=r3:7633\"")
 		idleTO    = flag.Duration("idle-timeout", 0, "per-connection idle deadline between frames (0 = none)")
 		writeTO   = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
 		maxConns  = flag.Int("max-conns", 0, "maximum concurrent connections (0 = unlimited)")
@@ -75,6 +94,22 @@ func main() {
 		IdleTimeout:  *idleTO,
 		WriteTimeout: *writeTO,
 		MaxConns:     *maxConns,
+	}
+
+	if *coord {
+		cfg, err := parseShardsFlags(*shards, *shardVer, *shardReps)
+		if err != nil {
+			logger.Fatalf("bad shard flags: %v", err)
+		}
+		co, err := shard.FromConfig(cfg, client.DialConfig{})
+		if err != nil {
+			logger.Fatalf("building coordinator: %v", err)
+		}
+		defer co.Close()
+		srv := server.NewProxy(co, logger, opts)
+		logger.Printf("coordinator over %d shards (partition map v%d); no local store", co.NumShards(), co.MapVersion())
+		serve(srv, *addr, logger)
+		return
 	}
 
 	var store *storage.Store
@@ -122,15 +157,20 @@ func main() {
 		logger.Print("in-memory store (no -log given)")
 	}
 
-	l, err := net.Listen("tcp", *addr)
-	if err != nil {
-		logger.Fatalf("listen: %v", err)
-	}
 	srv := server.NewWithOptions(store, logger, opts)
-	logger.Printf("listening on %s", l.Addr())
 	for _, info := range store.List() {
 		logger.Printf("replayed table %q (%s, %d tuples)", info.Name, info.SchemeID, info.Tuples)
 	}
+	serve(srv, *addr, logger)
+}
+
+// serve listens on addr and runs srv until a termination signal.
+func serve(srv *server.Server, addr string, logger *log.Logger) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	logger.Printf("listening on %s", l.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -145,4 +185,42 @@ func main() {
 		logger.Fatalf("serve: %v", err)
 	}
 	logger.Print("bye")
+}
+
+// parseShardsFlags assembles a client.ShardsConfig from the coordinator
+// flags: the ordered backend list (the order IS the partition map), the
+// map version, and the optional per-shard replica spec
+// ("idx=addr,addr;idx=addr").
+func parseShardsFlags(shards string, version uint64, replicaSpec string) (*client.ShardsConfig, error) {
+	if shards == "" {
+		return nil, fmt.Errorf("-coordinator requires -shards")
+	}
+	cfg := &client.ShardsConfig{Version: version}
+	for _, addr := range strings.Split(shards, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			return nil, fmt.Errorf("empty shard address in -shards")
+		}
+		cfg.Shards = append(cfg.Shards, client.ShardConfig{Addr: addr})
+	}
+	if replicaSpec != "" {
+		for _, entry := range strings.Split(replicaSpec, ";") {
+			idxStr, addrs, ok := strings.Cut(entry, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad -shard-replicas entry %q (want idx=addr,addr)", entry)
+			}
+			idx, err := strconv.Atoi(strings.TrimSpace(idxStr))
+			if err != nil || idx < 0 || idx >= len(cfg.Shards) {
+				return nil, fmt.Errorf("bad shard index %q in -shard-replicas (have %d shards)", idxStr, len(cfg.Shards))
+			}
+			for _, a := range strings.Split(addrs, ",") {
+				a = strings.TrimSpace(a)
+				if a == "" {
+					return nil, fmt.Errorf("empty replica address for shard %d", idx)
+				}
+				cfg.Shards[idx].Replicas = append(cfg.Shards[idx].Replicas, a)
+			}
+		}
+	}
+	return cfg, nil
 }

@@ -35,10 +35,10 @@ import (
 // Analyzer is the lockio analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockio",
-	Doc: "no fsync, network I/O, or sleeping while a storage write lock is held; " +
+	Doc: "no fsync, network I/O, or sleeping while a storage or shard lock is held; " +
 		"stage under the lock, flush outside it",
 	Match: func(path string) bool {
-		return analysis.PathHasSegment(path, "storage")
+		return analysis.PathHasAnySegment(path, "storage", "shard")
 	},
 	Run: run,
 }

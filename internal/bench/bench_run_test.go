@@ -460,6 +460,32 @@ func TestE18Shapes(t *testing.T) {
 	}
 }
 
+func TestE20Shapes(t *testing.T) {
+	// RunE20 self-gates hard: it errors unless the sharded answers are
+	// bit-identical to the oracle's (and plaintext), unless 4-shard
+	// aggregate cold-query throughput reaches 2.5x the single-process
+	// oracle under the disclosed capacity model, and unless both halves
+	// of the Byzantine-shard drill land (tampered follower quarantined
+	// with reads still serving; tampered primary failing the whole
+	// read). The shape asserted here is just that both rows exist with
+	// positive read counts and the sharded rate is not below the
+	// oracle's.
+	tab, err := RunE20(1000, 6, 250*time.Millisecond, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := findRow(t, tab, "single-process oracle")
+	sharded := findRow(t, tab, "4-shard scatter-gather")
+	for _, row := range []int{oracle, sharded} {
+		if reads := cell(t, tab, row, 2); reads <= 0 {
+			t.Errorf("E20 row %d: non-positive read count %v", row, reads)
+		}
+	}
+	if cell(t, tab, sharded, 3) < cell(t, tab, oracle, 3) {
+		t.Error("E20: sharded tier slower than the single-process oracle")
+	}
+}
+
 func TestTableJSON(t *testing.T) {
 	tab := &Table{ID: "EX", Title: "t", Header: []string{"a"}, Notes: []string{"n"}}
 	tab.AddRow("1")

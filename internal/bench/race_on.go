@@ -1,0 +1,13 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. The
+// throughput experiments emulate per-node capacity with slept service
+// floors, which presumes the real CPU per request is small next to the
+// floor; the race detector multiplies that real CPU several-fold while
+// the floors stay fixed, so on small CI boxes the detector — not the
+// disclosed capacity model — becomes the bottleneck. Gates that compare
+// throughput across node counts relax under race and keep their full
+// strength in the regular test and experiment runs.
+const raceEnabled = true

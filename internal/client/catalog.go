@@ -13,13 +13,21 @@ import (
 // SQL statements to the right table's scheme by the FROM clause. Like Conn,
 // a Catalog is not safe for concurrent use.
 type Catalog struct {
-	conn   *Conn
-	tables map[string]*DB
+	conn    *Conn
+	cluster Cluster
+	tables  map[string]*DB
 }
 
 // NewCatalog creates an empty catalog over the connection.
 func NewCatalog(conn *Conn) *Catalog {
 	return &Catalog{conn: conn, tables: make(map[string]*DB)}
+}
+
+// NewShardedCatalog creates an empty catalog over a sharded serving
+// tier: every attached table routes through the cluster's scatter-gather
+// instead of a single connection.
+func NewShardedCatalog(cl Cluster) *Catalog {
+	return &Catalog{cluster: cl, tables: make(map[string]*DB)}
 }
 
 // Attach registers a scheme for a remote table name and returns its DB
@@ -29,7 +37,12 @@ func (c *Catalog) Attach(remote string, scheme ph.Scheme) (*DB, error) {
 	if remote == "" {
 		return nil, fmt.Errorf("client: catalog table name must not be empty")
 	}
-	db := NewDB(c.conn, scheme, remote)
+	var db *DB
+	if c.cluster != nil {
+		db = NewShardedDB(c.cluster, scheme, remote)
+	} else {
+		db = NewDB(c.conn, scheme, remote)
+	}
 	c.tables[remote] = db
 	return db, nil
 }

@@ -102,6 +102,14 @@ func (c *Conn) roundTrip(f wire.Frame) (wire.Frame, error) {
 	return resp, nil
 }
 
+// RoundTrip sends one command frame and returns the response frame,
+// with the connection's I/O deadline applied and RespError converted to
+// a Go error. It exists for protocol extensions that live outside this
+// package (internal/shard's coordinator framing) so they can speak new
+// commands over the managed connection without duplicating its
+// transport discipline.
+func (c *Conn) RoundTrip(f wire.Frame) (wire.Frame, error) { return c.roundTrip(f) }
+
 // Store uploads an encrypted table under the given name.
 func (c *Conn) Store(name string, t *ph.EncryptedTable) error {
 	payload := wire.AppendString(nil, name)
@@ -402,18 +410,27 @@ type DB struct {
 	// rebuilds it from a fetch *verified against the pinned root*.
 	frontier *authindex.Frontier
 
-	// replicas are optional read replicas; single-round reads spread
-	// over them round-robin and fail over to the primary (net.go). A
-	// replica whose answer fails the pinned-root check is quarantined
-	// like any other failure — the trust anchor never loosens.
-	replicas []*replicaState
-	rrNext   int
-	stats    ReadStats
+	// pool routes single-round reads: round-robin over registered read
+	// replicas with quarantine backoff, failover to the primary
+	// (net.go). A replica whose answer fails the pinned-root check is
+	// quarantined like any other failure — the trust anchor never
+	// loosens.
+	pool *ReadPool
+
+	// cluster, when set, replaces the single connection with a sharded
+	// serving tier (internal/shard): tuples hash-partition over N
+	// backends, reads scatter to every shard, and the trust anchor
+	// becomes a *vector* of per-shard roots (pins). conn and pool are
+	// nil in this mode. See cluster.go.
+	cluster Cluster
+	// pins holds one pinned root (and its frontier) per shard while
+	// cluster is set and verification is enabled.
+	pins []shardPin
 }
 
 // NewDB binds a scheme to a connection and remote table name.
 func NewDB(conn *Conn, scheme ph.Scheme, table string) *DB {
-	return &DB{conn: conn, scheme: scheme, table: table}
+	return &DB{conn: conn, scheme: scheme, table: table, pool: NewReadPool(conn)}
 }
 
 // Scheme returns the underlying privacy homomorphism.
@@ -449,6 +466,9 @@ func (db *DB) CreateTable(t *relation.Table) error {
 	if err != nil {
 		return err
 	}
+	if db.cluster != nil {
+		return db.createTableSharded(ct)
+	}
 	if err := db.conn.Store(db.table, ct); err != nil {
 		return err
 	}
@@ -479,6 +499,9 @@ func (db *DB) encryptTuples(tuples []relation.Tuple) (*ph.EncryptedTable, error)
 // a deliberate server-side reload). Routine inserts never call it: they
 // advance the root incrementally from their own leaf hashes.
 func (db *DB) RepinRoot() error {
+	if db.cluster != nil {
+		return db.repinShardRoots()
+	}
 	full, err := db.conn.FetchAll(db.table)
 	if err != nil {
 		return err
@@ -540,6 +563,9 @@ func (db *DB) Insert(tuples ...relation.Tuple) error {
 	if err != nil {
 		return err
 	}
+	if db.cluster != nil {
+		return db.insertSharded(ct.Tuples)
+	}
 	if db.root == nil {
 		return db.conn.Insert(db.table, ct.Tuples)
 	}
@@ -573,7 +599,9 @@ func (db *DB) Insert(tuples ...relation.Tuple) error {
 // workers <= 0 defaults to 4; chunk <= 0 defaults to 256. A nil dial
 // falls back to a serial Insert over the DB's own connection.
 func (db *DB) InsertBatch(dial func() (*Conn, error), workers, chunk int, tuples ...relation.Tuple) error {
-	if dial == nil {
+	if dial == nil || db.cluster != nil {
+		// A sharded insert already fans out: the coordinator scatters
+		// the partitioned batch to every shard's group-commit write path.
 		return db.Insert(tuples...)
 	}
 	if workers <= 0 {
@@ -714,12 +742,15 @@ func (db *DB) advanceRootBatch(chunks [][]ph.EncryptedTuple, acks []InsertAck, a
 // configured, the query is served from a replica when one answers
 // (withRead), failing over to the primary otherwise.
 func (db *DB) Select(q relation.Eq) (*relation.Table, error) {
-	if db.root != nil {
+	if db.pinned() {
 		return db.VerifiedQuery(q)
 	}
 	eq, err := db.scheme.EncryptQuery(q)
 	if err != nil {
 		return nil, err
+	}
+	if db.cluster != nil {
+		return db.selectSharded(q, eq)
 	}
 	var res *ph.Result
 	if err := db.withRead(func(c *Conn) error {
@@ -746,12 +777,15 @@ func (db *DB) Select(q relation.Eq) (*relation.Table, error) {
 // the *table* no longer matches the client's pin — tampering, or a
 // foreign writer the client must acknowledge via RepinRoot.
 func (db *DB) VerifiedQuery(q relation.Eq) (*relation.Table, error) {
-	if db.root == nil {
+	if !db.pinned() {
 		return nil, fmt.Errorf("client: VerifiedQuery without a pinned root (CreateTable or PinRoot first)")
 	}
 	eq, err := db.scheme.EncryptQuery(q)
 	if err != nil {
 		return nil, err
+	}
+	if db.cluster != nil {
+		return db.verifiedQuerySharded(q, eq)
 	}
 	// The whole read — round trip AND pinned-root verification — runs
 	// inside withRead, so a stale or Byzantine replica fails like a dead
@@ -774,12 +808,29 @@ func (db *DB) VerifiedQuery(q relation.Eq) (*relation.Table, error) {
 	return db.scheme.DecryptResult(q, vr.Result)
 }
 
-// SelectMany runs several exact selects in one server round trip and
-// returns the decrypted, filtered result per query (order preserved).
-// Verification against the pinned root applies to each result.
+// SelectMany runs several exact selects and returns the decrypted,
+// filtered result per query (order preserved). With a pinned root each
+// select runs through the same one-round verified-read discipline as
+// Select — replica-routed (withRead), result and proofs from one server
+// snapshot — at the cost of one round trip per query; only against
+// servers predating CmdQueryVerified does it fall back to the legacy
+// batched two-round path (batch + Prove, with verifyResult's caveat),
+// mirroring how SelectConj falls back to SelectConjLegacy. Without a
+// pin it stays a single batched round trip, now routed through withRead
+// so replicas serve it and a dead one costs a failover, not the query.
+// On a sharded DB every select scatters to all shards.
 func (db *DB) SelectMany(qs []relation.Eq) ([]*relation.Table, error) {
 	if len(qs) == 0 {
 		return nil, nil
+	}
+	if db.pinned() {
+		out, err := db.selectManyVerified(qs)
+		if !IsUnsupported(err) {
+			return out, err
+		}
+		// The server predates the one-round verified protocol: fall
+		// through to the legacy batch whose results verify via the
+		// two-round Prove path inside the same routed attempt.
 	}
 	eqs := make([]*ph.EncryptedQuery, len(qs))
 	for i, q := range qs {
@@ -789,17 +840,37 @@ func (db *DB) SelectMany(qs []relation.Eq) ([]*relation.Table, error) {
 		}
 		eqs[i] = eq
 	}
-	results, err := db.conn.QueryBatch(db.table, eqs)
-	if err != nil {
+	var results []*ph.Result
+	if db.cluster != nil {
+		merged, err := db.queryBatchSharded(eqs)
+		if err != nil {
+			return nil, err
+		}
+		results = merged
+	} else if err := db.withRead(func(c *Conn) error {
+		rs, err := c.QueryBatch(db.table, eqs)
+		if err != nil {
+			return err
+		}
+		if db.root != nil {
+			// Verification runs inside the routed attempt, against the
+			// same connection that served the batch: a stale or lying
+			// replica fails here and is quarantined, and the batch is
+			// retried elsewhere rather than poisoning the answer.
+			for _, res := range rs {
+				if err := db.verifyResult(c, res); err != nil {
+					return err
+				}
+			}
+		}
+		results = rs
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	out := make([]*relation.Table, len(results))
+	var err error
 	for i, res := range results {
-		if db.root != nil {
-			if err := db.verifyResult(res); err != nil {
-				return nil, err
-			}
-		}
 		if out[i], err = db.scheme.DecryptResult(qs[i], res); err != nil {
 			return nil, err
 		}
@@ -807,19 +878,33 @@ func (db *DB) SelectMany(qs []relation.Eq) ([]*relation.Table, error) {
 	return out, nil
 }
 
+// selectManyVerified serves SelectMany through one VerifiedQuery per
+// select: each answer is snapshot-consistent and replica-routed.
+func (db *DB) selectManyVerified(qs []relation.Eq) ([]*relation.Table, error) {
+	out := make([]*relation.Table, len(qs))
+	for i, q := range qs {
+		t, err := db.VerifiedQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
 // verifyResult checks inclusion proofs for every returned tuple against
 // the pinned root, via the legacy two-round protocol (the result arrived
-// earlier; the proofs are fetched now). Caveat, by construction of the
-// two rounds: a mutation landing between result and proofs yields proofs
-// for a tree the pinned root does not describe, so an *honest* answer can
-// fail verification under concurrent writes. SelectMany accepts this for
-// the sake of the batched round trip; single selects use the race-free
-// VerifiedQuery instead.
-func (db *DB) verifyResult(res *ph.Result) error {
+// earlier; the proofs are fetched now, over the same connection). Caveat,
+// by construction of the two rounds: a mutation landing between result
+// and proofs yields proofs for a tree the pinned root does not describe,
+// so an *honest* answer can fail verification under concurrent writes.
+// The legacy SelectMany fallback accepts this for the sake of the batched
+// round trip; everything else uses the race-free VerifiedQuery instead.
+func (db *DB) verifyResult(c *Conn, res *ph.Result) error {
 	if len(res.Positions) == 0 {
 		return nil
 	}
-	proofs, err := db.conn.Prove(db.table, res.Positions)
+	proofs, err := c.Prove(db.table, res.Positions)
 	if err != nil {
 		return err
 	}
@@ -842,8 +927,12 @@ func (db *DB) verifyResult(res *ph.Result) error {
 	return nil
 }
 
-// SelectAll downloads and decrypts the whole table.
+// SelectAll downloads and decrypts the whole table (every shard's
+// partition, concatenated, on a sharded DB).
 func (db *DB) SelectAll() (*relation.Table, error) {
+	if db.cluster != nil {
+		return db.selectAllSharded()
+	}
 	ct, err := db.conn.FetchAll(db.table)
 	if err != nil {
 		return nil, err
@@ -943,6 +1032,9 @@ func (db *DB) SelectConj(eqs []relation.Eq) (*relation.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	if db.cluster != nil {
+		return db.selectConjSharded(eqs, qs)
+	}
 	// As in VerifiedQuery, verification runs inside withRead so replica
 	// answers are held to the pinned root before they count as served.
 	var res *ph.Result
@@ -1026,8 +1118,20 @@ func (db *DB) SelectConjLegacy(eqs []relation.Eq) (*relation.Table, error) {
 // root: root and leaf count must match the pin, and every returned tuple
 // must carry a proof for its position that hashes back to the root.
 func (db *DB) checkVerified(vr *authindex.VerifiedResult) error {
-	if !bytes.Equal(vr.Root, db.root) || vr.Leaves != db.rootTuples {
-		return fmt.Errorf("client: verification failed: server root does not match the pinned root (server %d tuples, pinned %d) — tampering or unacknowledged external writes", vr.Leaves, db.rootTuples)
+	return checkVerifiedAgainst(db.root, db.rootTuples, vr)
+}
+
+// checkVerifiedAgainst verifies a one-round verified answer against an
+// explicit (root, leaf count) pin. It is the single verification
+// discipline behind both anchors the client can hold: DB's one pinned
+// root, and — in sharded mode — each entry of the pinned root *vector*,
+// where every shard's sub-answer is checked against that shard's own
+// root (the root-of-roots argument: trusting the vector is trusting
+// every shard's tree, so one mutated tuple on one shard fails its entry
+// and with it the whole read).
+func checkVerifiedAgainst(root []byte, tuples int, vr *authindex.VerifiedResult) error {
+	if !bytes.Equal(vr.Root, root) || vr.Leaves != tuples {
+		return fmt.Errorf("client: verification failed: server root does not match the pinned root (server %d tuples, pinned %d) — tampering or unacknowledged external writes", vr.Leaves, tuples)
 	}
 	if len(vr.Proofs) != len(vr.Result.Tuples) || len(vr.Result.Tuples) != len(vr.Result.Positions) {
 		return fmt.Errorf("client: verification failed: %d proofs for %d tuples at %d positions", len(vr.Proofs), len(vr.Result.Tuples), len(vr.Result.Positions))
@@ -1043,7 +1147,7 @@ func (db *DB) checkVerified(vr *authindex.VerifiedResult) error {
 		if p.Position != vr.Result.Positions[i] {
 			return fmt.Errorf("client: verification failed: proof %d speaks about position %d, want %d", i, p.Position, vr.Result.Positions[i])
 		}
-		if err := authindex.Verify(db.root, db.rootTuples, vr.Result.Tuples[i], p); err != nil {
+		if err := authindex.Verify(root, tuples, vr.Result.Tuples[i], p); err != nil {
 			return fmt.Errorf("client: result tuple %d failed verification: %w", i, err)
 		}
 	}
@@ -1070,8 +1174,11 @@ func (db *DB) Explain(sql string) (string, error) {
 		return fmt.Sprintf("plan for %s: full table download (no WHERE clause)\n", db.table), nil
 	case 1:
 		path := "single select (CmdQuery)"
-		if db.root != nil {
+		if db.pinned() {
 			path = "one-round verified select (CmdQueryVerified)"
+		}
+		if db.cluster != nil {
+			path += fmt.Sprintf(", scattered to %d shards", db.cluster.NumShards())
 		}
 		return fmt.Sprintf("plan for %s: %s on %s\n", db.table, path, eqs[0]), nil
 	}
@@ -1079,7 +1186,15 @@ func (db *DB) Explain(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	info, err := db.conn.ExplainConj(db.table, qs)
+	var info *query.PlanInfo
+	if db.cluster != nil {
+		// Each shard plans against its own sketch (conjunct order adapts
+		// to per-shard skew); the merged summary adds the coordinator-side
+		// merge view of their costs.
+		info, err = db.cluster.ExplainConj(db.table, qs)
+	} else {
+		info, err = db.conn.ExplainConj(db.table, qs)
+	}
 	if err != nil {
 		return "", err
 	}

@@ -27,6 +27,33 @@ type Config struct {
 	// Net holds the transport knobs (dial retry, I/O deadlines, read
 	// replicas). The zero value keeps the library defaults.
 	Net NetConfig `json:"net,omitempty"`
+	// Shards, when present, describes a sharded serving tier: the catalog
+	// scatters to these backends through an in-process coordinator
+	// instead of talking to one server. Net.Replicas is ignored in
+	// sharded mode — followers attach per shard.
+	Shards *ShardsConfig `json:"shards,omitempty"`
+}
+
+// ShardsConfig is the JSON form of a versioned partition map: which
+// shard backends exist, in partition order, and which map version the
+// placement hash is stamped with. The shard *order is the partition
+// map* — reordering entries reshards the data — so edits must bump
+// Version and re-upload.
+type ShardsConfig struct {
+	// Version stamps the partition map; servers echo it so a client
+	// with a stale config fails loudly instead of merging mis-routed
+	// answers.
+	Version uint64 `json:"version"`
+	// Shards lists the backends in partition order.
+	Shards []ShardConfig `json:"shards"`
+}
+
+// ShardConfig describes one shard backend.
+type ShardConfig struct {
+	// Addr is the shard primary's address.
+	Addr string `json:"addr"`
+	// Replicas lists read-replica addresses for this shard.
+	Replicas []string `json:"replicas,omitempty"`
 }
 
 // NetConfig is the JSON form of the client's transport knobs. All
@@ -169,6 +196,23 @@ func (c *Config) AttachAll(conn *Conn, master crypto.Key) (*Catalog, error) {
 	return cat, nil
 }
 
+// AttachAllSharded builds every table in the config and attaches it to a
+// catalog over a sharded serving tier (built from the config's Shards
+// section, e.g. with shard.FromConfig).
+func (c *Config) AttachAllSharded(cl Cluster, master crypto.Key) (*Catalog, error) {
+	cat := NewShardedCatalog(cl)
+	for _, tc := range c.Tables {
+		scheme, err := tc.BuildScheme(master)
+		if err != nil {
+			return nil, fmt.Errorf("client: table %q: %w", tc.Remote, err)
+		}
+		if _, err := cat.Attach(tc.Remote, scheme); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
 // SaveConfig writes the config as JSON to path (0600: it names tables and
 // schemas, which are metadata Alex may prefer to keep private, though no
 // keys are inside).
@@ -204,6 +248,16 @@ func LoadConfig(path string) (*Config, error) {
 		seen[tc.Remote] = true
 		if _, err := tc.Schema.Build(); err != nil {
 			return nil, fmt.Errorf("client: config %s: table %q: %w", path, tc.Remote, err)
+		}
+	}
+	if sc := c.Shards; sc != nil {
+		if len(sc.Shards) == 0 {
+			return nil, fmt.Errorf("client: config %s: shards section with no shards", path)
+		}
+		for i, s := range sc.Shards {
+			if s.Addr == "" {
+				return nil, fmt.Errorf("client: config %s: shard %d has no address", path, i)
+			}
 		}
 	}
 	return &c, nil

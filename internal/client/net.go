@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/wire"
@@ -295,61 +296,199 @@ func (r *replicaState) ok() {
 	r.quarantinedUntil = time.Time{}
 }
 
+// ReadPool routes self-contained requests over one primary endpoint and
+// any number of read replicas: round-robin over healthy replicas with
+// quarantine backoff, failover to the primary when none answers. It is
+// the routing machinery DB always had, extracted and made safe for
+// concurrent use so a shard coordinator (internal/shard) can keep one
+// pool per shard and scatter to them from concurrently served requests.
+//
+// The pool's mutex is held for the whole attempt, round trip included:
+// a Conn is not safe for concurrent use, so one pool serves exactly one
+// request at a time and concurrent callers queue. That is deliberate —
+// a pool models one node's serving capacity, and per-node queueing is
+// exactly the capacity model the scaling experiments (E18/E20) measure.
+// Independent pools (different shards) proceed in parallel.
+type ReadPool struct {
+	mu sync.Mutex
+	// fixed is a caller-owned primary connection (DB mode); the pool
+	// never closes it. Exactly one of fixed/primary is set.
+	fixed *Conn
+	// primary is a pool-owned dialed primary (coordinator mode): cached,
+	// closed and redialed after transport failures.
+	primary  *replicaState
+	replicas []*replicaState
+	rrNext   int
+	stats    ReadStats
+}
+
+// NewReadPool builds a pool over a caller-owned primary connection. The
+// pool never closes it; Close only releases replica connections.
+func NewReadPool(primary *Conn) *ReadPool {
+	return &ReadPool{fixed: primary}
+}
+
+// NewReadPoolDial builds a pool that owns its primary: dialed on first
+// use, closed and redialed after transport failures, closed by Close.
+func NewReadPoolDial(dial func() (*Conn, error)) *ReadPool {
+	return &ReadPool{primary: &replicaState{dial: dial}}
+}
+
+// AddReplica registers a read replica by dial function (the seam tests
+// and in-memory transports use).
+func (p *ReadPool) AddReplica(dial func() (*Conn, error)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.replicas = append(p.replicas, &replicaState{dial: dial})
+}
+
+// AddReplicas registers TCP read replicas dialed with cfg.
+func (p *ReadPool) AddReplicas(cfg DialConfig, addrs ...string) {
+	for _, addr := range addrs {
+		addr := addr
+		p.AddReplica(func() (*Conn, error) { return DialWithConfig(addr, cfg) })
+	}
+}
+
+// Stats returns a snapshot of the pool's read-routing counters.
+func (p *ReadPool) Stats() ReadStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close releases every connection the pool owns: cached replica
+// connections, and the dialed primary if the pool owns one. A fixed
+// primary (NewReadPool) belongs to the caller and is left open.
+func (p *ReadPool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var err error
+	if p.primary != nil && p.primary.conn != nil {
+		err = p.primary.conn.Close()
+		p.primary.conn = nil
+	}
+	for _, r := range p.replicas {
+		if r.conn != nil {
+			if cerr := r.conn.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			r.conn = nil
+		}
+	}
+	return err
+}
+
+// primaryConn returns the primary connection, dialing if the pool owns
+// its primary and has none cached. Must be called with p.mu held.
+func (p *ReadPool) primaryConn() (*Conn, error) {
+	if p.fixed != nil {
+		return p.fixed, nil
+	}
+	return p.primary.get()
+}
+
+// Do runs one self-contained read: round-robin over healthy replicas
+// first, falling back to the primary when none answers. fn must be a
+// complete read — request, decode, AND verification — with side effects
+// only on success, so a failed replica attempt (including a Byzantine
+// answer caught by the pinned-root check) can be retried elsewhere
+// cleanly. The primary attempt's error is returned as-is: the primary
+// is the source of truth, and its verification failure is a real alarm,
+// not a routing event.
+func (p *ReadPool) Do(fn func(c *Conn) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.replicas)
+	if n > 0 {
+		now := time.Now()
+		for i := 0; i < n; i++ {
+			r := p.replicas[(p.rrNext+i)%n]
+			if now.Before(r.quarantinedUntil) {
+				continue
+			}
+			c, err := r.get()
+			if err != nil {
+				p.stats.ReplicaFailures++
+				r.fail()
+				continue
+			}
+			if err := fn(c); err != nil {
+				p.stats.ReplicaFailures++
+				r.fail()
+				continue
+			}
+			r.ok()
+			p.rrNext = (p.rrNext + i + 1) % n
+			p.stats.ReplicaReads++
+			return nil
+		}
+		p.stats.Failovers++
+	}
+	p.stats.PrimaryReads++
+	c, err := p.primaryConn()
+	if err != nil {
+		return err
+	}
+	if err := fn(c); err != nil {
+		// A transport failure on an owned primary voids the cached
+		// connection so the next attempt redials; a remote error means
+		// the connection is healthy and the server answered.
+		if p.primary != nil && !IsRemote(err) {
+			p.primary.fail()
+		}
+		return err
+	}
+	if p.primary != nil {
+		p.primary.ok()
+	}
+	return nil
+}
+
+// DoPrimary runs fn against the primary only — the write path. Errors
+// are returned as-is; a transport failure on an owned primary voids the
+// cached connection so the next call redials.
+func (p *ReadPool) DoPrimary(fn func(c *Conn) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, err := p.primaryConn()
+	if err != nil {
+		return err
+	}
+	if err := fn(c); err != nil {
+		if p.primary != nil && !IsRemote(err) {
+			p.primary.fail()
+		}
+		return err
+	}
+	return nil
+}
+
 // AddReplica registers a read replica by dial function (the seam tests
 // and in-memory transports use). Like the rest of DB, not safe for
 // concurrent use.
 func (db *DB) AddReplica(dial func() (*Conn, error)) {
-	db.replicas = append(db.replicas, &replicaState{dial: dial})
+	db.pool.AddReplica(dial)
 }
 
 // AddReplicas registers TCP read replicas dialed with cfg.
 func (db *DB) AddReplicas(cfg DialConfig, addrs ...string) {
-	for _, addr := range addrs {
-		addr := addr
-		db.AddReplica(func() (*Conn, error) { return DialWithConfig(addr, cfg) })
-	}
+	db.pool.AddReplicas(cfg, addrs...)
 }
 
-// ReadStats returns the DB's read-routing counters.
-func (db *DB) ReadStats() ReadStats { return db.stats }
+// ReadStats returns the DB's read-routing counters. For a sharded DB
+// the per-shard counters live with the cluster (e.g. the coordinator's
+// ShardStats); this reports only reads routed through the DB's own
+// primary pool.
+func (db *DB) ReadStats() ReadStats {
+	if db.pool == nil {
+		return ReadStats{}
+	}
+	return db.pool.Stats()
+}
 
-// withRead runs one self-contained read: round-robin over healthy
-// replicas first, falling back to the primary when none answers. fn must
-// be a complete read — request, decode, AND verification — with side
-// effects only on success, so a failed replica attempt (including a
-// Byzantine answer caught by the pinned-root check) can be retried
-// elsewhere cleanly. The primary attempt's error is returned as-is: the
-// primary is the source of truth, and its verification failure is a real
-// alarm, not a routing event.
+// withRead routes one self-contained read through the DB's pool; see
+// ReadPool.Do for the discipline fn must follow.
 func (db *DB) withRead(fn func(c *Conn) error) error {
-	n := len(db.replicas)
-	if n == 0 {
-		db.stats.PrimaryReads++
-		return fn(db.conn)
-	}
-	now := time.Now()
-	for i := 0; i < n; i++ {
-		r := db.replicas[(db.rrNext+i)%n]
-		if now.Before(r.quarantinedUntil) {
-			continue
-		}
-		c, err := r.get()
-		if err != nil {
-			db.stats.ReplicaFailures++
-			r.fail()
-			continue
-		}
-		if err := fn(c); err != nil {
-			db.stats.ReplicaFailures++
-			r.fail()
-			continue
-		}
-		r.ok()
-		db.rrNext = (db.rrNext + i + 1) % n
-		db.stats.ReplicaReads++
-		return nil
-	}
-	db.stats.PrimaryReads++
-	db.stats.Failovers++
-	return fn(db.conn)
+	return db.pool.Do(fn)
 }

@@ -51,10 +51,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/authindex"
-	"repro/internal/ph"
-	"repro/internal/query"
-	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/wire"
 )
@@ -104,9 +100,24 @@ type Options struct {
 	Ready func() bool
 }
 
+// Backend executes one decoded command frame and builds the response
+// frame. The canonical backend is the store-backed command set
+// (storeBackend, what New installs); a shard coordinator
+// (internal/shard) implements the same surface so phserver can serve a
+// scatter-gather tier through the identical connection machinery —
+// deadlines, caps, the Ready gate — without the transport knowing which
+// it fronts. HandleFrame must be safe for concurrent use; scratch is a
+// zero-length reusable buffer the response payload may build on.
+type Backend interface {
+	HandleFrame(f wire.Frame, scratch []byte) (wire.Frame, error)
+	// Sync flushes whatever durable state the backend owns; Server.Close
+	// calls it so a graceful shutdown is durable under every sync policy.
+	Sync() error
+}
+
 // Server is one service-provider instance.
 type Server struct {
-	store    *storage.Store
+	backend  Backend
 	logger   *log.Logger
 	opts     Options
 	inflight chan struct{} // MaxInflight semaphore; nil when uncapped
@@ -127,10 +138,17 @@ func New(store *storage.Store, logger *log.Logger) *Server {
 // NewWithOptions creates a server over the given store with explicit
 // robustness options. logger may be nil to discard diagnostics.
 func NewWithOptions(store *storage.Store, logger *log.Logger, opts Options) *Server {
+	return NewProxy(&storeBackend{store: store}, logger, opts)
+}
+
+// NewProxy creates a server over an arbitrary backend — a shard
+// coordinator, a test double — with explicit robustness options. logger
+// may be nil to discard diagnostics.
+func NewProxy(backend Backend, logger *log.Logger, opts Options) *Server {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
-	s := &Server{store: store, logger: logger, opts: opts, conns: make(map[net.Conn]struct{})}
+	s := &Server{backend: backend, logger: logger, opts: opts, conns: make(map[net.Conn]struct{})}
 	if opts.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInflight)
 	}
@@ -200,7 +218,7 @@ func (s *Server) Close() error {
 		err = l.Close()
 	}
 	s.wg.Wait()
-	if serr := s.store.Sync(); serr != nil && err == nil {
+	if serr := s.backend.Sync(); serr != nil && err == nil {
 		err = serr
 	}
 	return err
@@ -285,61 +303,11 @@ func (s *Server) serveRequest(f wire.Frame, scratch []byte) wire.Frame {
 	return resp
 }
 
-// queryBatch evaluates a batch of queries against one table. The fanout is
-// no longer a hard-coded constant: it is sized from the process-wide
-// scheduler budget (internal/sched), the same budget core.Evaluate draws
-// its scan workers from, so batched queries cannot oversubscribe the
-// machine — extra intra-query parallelism and inter-query parallelism are
-// paid from one GOMAXPROCS-sized pool. The workers pull query indices
-// from a channel, so one stalled evaluation occupies only its own worker
-// and never wedges dispatch of later queries behind it (the old loop
-// acquired a semaphore while spawning and could stall the whole frame);
-// pulling also bounds live goroutines per frame at the fanout, so a
-// hostile frame declaring millions of queries cannot spawn millions of
-// goroutines. Results keep the request order; on failure the lowest-index
-// error wins and the batch fails as a unit, exactly as the serial loop
-// behaved.
-func (s *Server) queryBatch(name string, queries []*ph.EncryptedQuery) ([]*ph.Result, error) {
-	results := make([]*ph.Result, len(queries))
-	if len(queries) <= 1 {
-		for i, q := range queries {
-			res, err := s.store.Query(name, q)
-			if err != nil {
-				return nil, err
-			}
-			results[i] = res
-		}
-		return results, nil
-	}
-	errs := make([]error, len(queries))
-	workers := min(len(queries), sched.Process().Capacity())
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				results[i], errs[i] = s.store.Query(name, queries[i])
-			}
-		}()
-	}
-	for i := range queries {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
-}
-
-// dispatch executes one command frame and builds the response frame.
-// scratch is a zero-length reusable buffer response payloads are appended
-// onto; the returned frame's payload may alias it (or a grown successor).
+// dispatch applies the server-side policy gates — the Ready gate and
+// the read-only mutation rejection — then delegates the command to the
+// backend and turns its error, if any, into a RespError frame. scratch
+// is a zero-length reusable buffer response payloads are appended onto;
+// the returned frame's payload may alias it (or a grown successor).
 func (s *Server) dispatch(f wire.Frame, scratch []byte) wire.Frame {
 	resp, err := s.handle(f, scratch)
 	if err != nil {
@@ -348,306 +316,16 @@ func (s *Server) dispatch(f wire.Frame, scratch []byte) wire.Frame {
 	return resp
 }
 
-// handle implements the command set. Response payloads build on scratch.
+// handle gates one command frame, then hands it to the backend.
 func (s *Server) handle(f wire.Frame, scratch []byte) (wire.Frame, error) {
-	r := wire.NewBuffer(f.Payload)
 	if s.opts.Ready != nil && !s.opts.Ready() {
 		return wire.Frame{}, fmt.Errorf("server: replica is catching up, not serving yet")
 	}
 	if s.opts.ReadOnly {
 		switch f.Type {
-		case wire.CmdStore, wire.CmdInsert, wire.CmdInsertStamped, wire.CmdDrop:
+		case wire.CmdStore, wire.CmdInsert, wire.CmdInsertStamped, wire.CmdDrop, wire.CmdShardInsert:
 			return wire.Frame{}, fmt.Errorf("server: read-only replica: mutations go to the primary")
 		}
 	}
-	switch f.Type {
-	case wire.CmdStore:
-		name, err := r.String()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		t, err := wire.DecodeTable(r)
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		if err := s.store.Put(name, t); err != nil {
-			return wire.Frame{}, err
-		}
-		return wire.Frame{Type: wire.RespOK}, nil
-
-	case wire.CmdInsert, wire.CmdInsertStamped:
-		name, err := r.String()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		n, err := r.U32()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		tuples := make([]ph.EncryptedTuple, 0, wire.ClampCount(n, r.Remaining()/8))
-		for i := uint32(0); i < n; i++ {
-			tp, err := wire.DecodeTuple(r)
-			if err != nil {
-				return wire.Frame{}, err
-			}
-			tuples = append(tuples, tp)
-		}
-		base, version, err := s.store.AppendStamped(name, tuples)
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		if f.Type == wire.CmdInsert {
-			// Legacy ack, so pre-extension clients keep working.
-			return wire.Frame{Type: wire.RespOK}, nil
-		}
-		// The placement ack lets a verifying client advance its pinned
-		// root from its own leaf hashes instead of re-downloading.
-		payload := wire.AppendU32(scratch, uint32(base))
-		payload = wire.AppendU32(payload, uint32(len(tuples)))
-		payload = wire.AppendU64(payload, version)
-		return wire.Frame{Type: wire.RespInserted, Payload: payload}, nil
-
-	case wire.CmdQuery:
-		name, err := r.String()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		q, err := wire.DecodeQuery(r)
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		res, err := s.store.Query(name, q)
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		return wire.Frame{Type: wire.RespResult, Payload: wire.EncodeResult(scratch, res)}, nil
-
-	case wire.CmdQueryBatch:
-		name, err := r.String()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		n, err := r.U32()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		// Capacity is clamped by what the payload could possibly encode
-		// (a query is at least two length-prefixed fields), so a declared
-		// count in a hostile frame cannot force a huge allocation.
-		queries := make([]*ph.EncryptedQuery, 0, wire.ClampCount(n, r.Remaining()/8))
-		for i := uint32(0); i < n; i++ {
-			q, err := wire.DecodeQuery(r)
-			if err != nil {
-				return wire.Frame{}, err
-			}
-			queries = append(queries, q)
-		}
-		results, err := s.queryBatch(name, queries)
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		payload := wire.AppendU32(scratch, n)
-		for _, res := range results {
-			payload = wire.EncodeResult(payload, res)
-		}
-		return wire.Frame{Type: wire.RespResults, Payload: payload}, nil
-
-	case wire.CmdFetchAll:
-		name, err := r.String()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		t, err := s.store.Get(name)
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		return wire.Frame{Type: wire.RespTable, Payload: wire.EncodeTable(scratch, t)}, nil
-
-	case wire.CmdDrop:
-		name, err := r.String()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		if err := s.store.Drop(name); err != nil {
-			return wire.Frame{}, err
-		}
-		return wire.Frame{Type: wire.RespOK}, nil
-
-	case wire.CmdList:
-		return wire.Frame{Type: wire.RespList, Payload: wire.EncodeList(scratch, s.store.List())}, nil
-
-	case wire.CmdRoot:
-		// Legacy command, kept working: the root now comes from the
-		// store's incremental index (no per-request deep copy or tree
-		// rebuild) and is version-stamped. Caveat: a root fetched here
-		// and proofs fetched by a later CmdProve may straddle a mutation;
-		// CmdQueryVerified is the race-free path.
-		name, err := r.String()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		root, tuples, version, err := s.store.Root(name)
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		payload := wire.AppendBytes(scratch, root)
-		payload = wire.AppendU32(payload, uint32(tuples))
-		payload = wire.AppendU64(payload, version)
-		return wire.Frame{Type: wire.RespRoot, Payload: payload}, nil
-
-	case wire.CmdProve:
-		// Legacy command, kept working; same caveat as CmdRoot. Proofs
-		// are cut from the incremental index under one lock acquisition.
-		name, err := r.String()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		n, err := r.U32()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		// The preallocation is clamped by what the payload could
-		// possibly hold (4 bytes per position) — a hostile count in a
-		// small frame must not force a count-proportional allocation.
-		positions := make([]int, 0, wire.ClampCount(n, r.Remaining()/4))
-		for i := uint32(0); i < n; i++ {
-			p, err := r.U32()
-			if err != nil {
-				return wire.Frame{}, err
-			}
-			positions = append(positions, int(p))
-		}
-		proofs, _, _, _, err := s.store.Prove(name, positions)
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		return wire.Frame{Type: wire.RespProofs, Payload: authindex.EncodeProofs(scratch, proofs)}, nil
-
-	case wire.CmdQueryVerified:
-		name, err := r.String()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		q, err := wire.DecodeQuery(r)
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		vr, err := s.store.QueryVerified(name, q)
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		return wire.Frame{Type: wire.RespResultVerified, Payload: authindex.EncodeVerifiedResult(scratch, vr)}, nil
-
-	case wire.CmdQueryConj:
-		// The conjunctive pushdown: plan by estimated selectivity, narrow
-		// survivors, answer with only the intersection. Executed (and, for
-		// the verified flag, proof-cut) under one read-locked store
-		// snapshot; the explain flag returns the plan without running it.
-		name, err := r.String()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		flags, err := r.U8()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		n, err := r.U32()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		// Clamped like CmdQueryBatch: a declared count in a hostile frame
-		// cannot force a huge allocation.
-		queries := make([]*ph.EncryptedQuery, 0, wire.ClampCount(n, r.Remaining()/8))
-		for i := uint32(0); i < n; i++ {
-			q, err := wire.DecodeQuery(r)
-			if err != nil {
-				return wire.Frame{}, err
-			}
-			queries = append(queries, q)
-		}
-		resp := &query.Response{}
-		switch {
-		case flags&wire.ConjFlagExplain != 0:
-			if resp.Plan, err = s.store.ExplainConj(name, queries); err != nil {
-				return wire.Frame{}, err
-			}
-		case flags&wire.ConjFlagVerified != 0:
-			if resp.Verified, resp.Plan, err = s.store.QueryConjVerified(name, queries); err != nil {
-				return wire.Frame{}, err
-			}
-		default:
-			if resp.Result, resp.Plan, err = s.store.QueryConj(name, queries); err != nil {
-				return wire.Frame{}, err
-			}
-		}
-		return wire.Frame{Type: wire.RespResultConj, Payload: query.EncodeResponse(scratch, resp)}, nil
-
-	case wire.CmdShipLog:
-		// Log shipping for read replicas: answer with records of the
-		// current log file from the follower's cursor. The store clamps
-		// everything hostile — an unknown epoch or a sequence past the
-		// head serves the bootstrap stream, and the byte budget caps the
-		// answer regardless of what the peer asked for.
-		reqEpoch, err := r.U64()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		from, err := r.U64()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		maxBytes, err := r.U32()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		recs, epoch, start, head, err := s.store.ReadLog(reqEpoch, from, maxBytes)
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		payload := wire.AppendU64(scratch, epoch)
-		payload = wire.AppendU64(payload, start)
-		payload = wire.AppendU64(payload, head)
-		payload = wire.AppendU32(payload, uint32(len(recs)))
-		for _, rec := range recs {
-			payload = wire.AppendU8(payload, rec.Op)
-			payload = wire.AppendBytes(payload, rec.Payload)
-		}
-		return wire.Frame{Type: wire.RespLogChunk, Payload: payload}, nil
-
-	case wire.CmdShipSnapshot:
-		// Snapshot shipping for replica bootstrap: one byte range of an
-		// encoded snapshot. The store clamps everything hostile — the
-		// budget is capped server-side, offsets past the end are empty,
-		// and an identity it no longer holds is answered with a fresh
-		// snapshot from offset 0.
-		reqEpoch, err := r.U64()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		reqSeq, err := r.U64()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		offset, err := r.U64()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		maxBytes, err := r.U32()
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		data, epoch, seq, total, off, err := s.store.ReadSnapshot(reqEpoch, reqSeq, offset, maxBytes)
-		if err != nil {
-			return wire.Frame{}, err
-		}
-		payload := wire.AppendU64(scratch, epoch)
-		payload = wire.AppendU64(payload, seq)
-		payload = wire.AppendU64(payload, total)
-		payload = wire.AppendU64(payload, off)
-		payload = wire.AppendBytes(payload, data)
-		return wire.Frame{Type: wire.RespSnapshotChunk, Payload: payload}, nil
-
-	default:
-		return wire.Frame{}, fmt.Errorf("server: unknown command %#x", f.Type)
-	}
+	return s.backend.HandleFrame(f, scratch)
 }

@@ -1,0 +1,306 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/authindex"
+	"repro/internal/ph"
+	"repro/internal/query"
+	"repro/internal/wire"
+)
+
+func sampleTuple(id byte) ph.EncryptedTuple {
+	return ph.EncryptedTuple{
+		ID:    []byte{id, 0x01, 0x02},
+		Blob:  []byte{0xAA, id},
+		Words: [][]byte{{0x10, id}, {0x20, id}},
+	}
+}
+
+func sampleResponse() (uint64, []Sub) {
+	return 7, []Sub{
+		{Shard: 0, Kind: KindResults, Results: []*ph.Result{{
+			Positions: []int{0, 2},
+			Tuples:    []ph.EncryptedTuple{sampleTuple(1), sampleTuple(2)},
+		}}},
+		{Shard: 2, Kind: KindResults, Results: []*ph.Result{{
+			Positions: []int{1},
+			Tuples:    []ph.EncryptedTuple{sampleTuple(3)},
+		}}},
+	}
+}
+
+func TestShardResponseRoundTrip(t *testing.T) {
+	version, subs := sampleResponse()
+	payload := EncodeResponse(nil, version, subs)
+	gotVersion, gotSubs, err := DecodeResponse(payload, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotVersion != version {
+		t.Fatalf("map version %d, want %d", gotVersion, version)
+	}
+	if len(gotSubs) != len(subs) {
+		t.Fatalf("%d subs, want %d", len(gotSubs), len(subs))
+	}
+	for i := range subs {
+		if gotSubs[i].Shard != subs[i].Shard || gotSubs[i].Kind != subs[i].Kind {
+			t.Fatalf("sub %d framing: %+v vs %+v", i, gotSubs[i], subs[i])
+		}
+		want, got := subs[i].Results[0], gotSubs[i].Results[0]
+		if len(got.Positions) != len(want.Positions) || len(got.Tuples) != len(want.Tuples) {
+			t.Fatalf("sub %d result shape differs", i)
+		}
+		for j := range want.Tuples {
+			if !bytes.Equal(got.Tuples[j].ID, want.Tuples[j].ID) {
+				t.Fatalf("sub %d tuple %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestShardResponseVerifiedAndConjAndTableKinds(t *testing.T) {
+	vr := &authindex.VerifiedResult{
+		Result:  &ph.Result{Positions: []int{0}, Tuples: []ph.EncryptedTuple{sampleTuple(9)}},
+		Root:    bytes.Repeat([]byte{0x42}, 32),
+		Leaves:  3,
+		Version: 11,
+		Proofs:  []authindex.Proof{},
+	}
+	subs := []Sub{
+		{Shard: 0, Kind: KindVerified, Verified: []*authindex.VerifiedResult{vr}},
+		{Shard: 1, Kind: KindConj, Conj: &query.Response{
+			Plan:   &query.PlanInfo{Tuples: 5, Steps: []query.StepInfo{{Index: 0, Tested: 5, Hits: 2}}},
+			Result: &ph.Result{Positions: []int{1, 3}, Tuples: []ph.EncryptedTuple{sampleTuple(4), sampleTuple(5)}},
+		}},
+		{Shard: 2, Kind: KindTable, Table: &ph.EncryptedTable{
+			SchemeID: "swp-ph",
+			Meta:     []byte{0x01},
+			Tuples:   []ph.EncryptedTuple{sampleTuple(6)},
+		}},
+	}
+	payload := EncodeResponse(nil, 1, subs)
+	_, got, err := DecodeResponse(payload, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Verified[0].Leaves != 3 || got[0].Verified[0].Version != 11 {
+		t.Fatalf("verified sub decoded wrong: %+v", got[0].Verified[0])
+	}
+	if got[1].Conj == nil || got[1].Conj.Plan.Tuples != 5 {
+		t.Fatalf("conj sub decoded wrong: %+v", got[1].Conj)
+	}
+	if got[2].Table == nil || got[2].Table.SchemeID != "swp-ph" {
+		t.Fatalf("table sub decoded wrong: %+v", got[2].Table)
+	}
+}
+
+func TestShardResponseHostile(t *testing.T) {
+	version, subs := sampleResponse()
+	valid := EncodeResponse(nil, version, subs)
+
+	t.Run("truncations", func(t *testing.T) {
+		for i := 0; i < len(valid); i++ {
+			if _, _, err := DecodeResponse(valid[:i], 4); err == nil {
+				t.Fatalf("truncation to %d bytes accepted", i)
+			}
+		}
+	})
+
+	t.Run("descending shard ids", func(t *testing.T) {
+		flipped := []Sub{subs[1], subs[0]}
+		payload := EncodeResponse(nil, version, flipped)
+		if _, _, err := DecodeResponse(payload, 4); err == nil || !strings.Contains(err.Error(), "ascending") {
+			t.Fatalf("descending shard ids accepted: %v", err)
+		}
+	})
+
+	t.Run("duplicate shard ids", func(t *testing.T) {
+		dup := []Sub{subs[0], subs[0]}
+		payload := EncodeResponse(nil, version, dup)
+		if _, _, err := DecodeResponse(payload, 4); err == nil || !strings.Contains(err.Error(), "ascending") {
+			t.Fatalf("duplicate shard ids accepted: %v", err)
+		}
+	})
+
+	t.Run("shard id outside map", func(t *testing.T) {
+		payload := EncodeResponse(nil, version, subs)
+		if _, _, err := DecodeResponse(payload, 2); err == nil || !strings.Contains(err.Error(), "outside") {
+			t.Fatalf("shard id 2 accepted in a 2-shard map: %v", err)
+		}
+	})
+
+	t.Run("too many shards declared", func(t *testing.T) {
+		payload := wire.AppendU64(nil, version)
+		payload = wire.AppendU32(payload, 0xFFFFFFFF)
+		if _, _, err := DecodeResponse(payload, 4); err == nil {
+			t.Fatal("length-bomb shard count accepted")
+		}
+	})
+
+	t.Run("result length bomb", func(t *testing.T) {
+		body := wire.AppendU32(nil, 0xFFFFFFFF) // declared result count
+		payload := wire.AppendU64(nil, version)
+		payload = wire.AppendU32(payload, 1)
+		payload = wire.AppendU32(payload, 0)
+		payload = wire.AppendU8(payload, KindResults)
+		payload = wire.AppendBytes(payload, body)
+		if _, _, err := DecodeResponse(payload, 4); err == nil {
+			t.Fatal("length-bomb result count accepted")
+		}
+	})
+
+	t.Run("duplicate positions", func(t *testing.T) {
+		bad := []Sub{{Shard: 0, Kind: KindResults, Results: []*ph.Result{{
+			Positions: []int{2, 2},
+			Tuples:    []ph.EncryptedTuple{sampleTuple(1), sampleTuple(2)},
+		}}}}
+		payload := EncodeResponse(nil, version, bad)
+		if _, _, err := DecodeResponse(payload, 4); err == nil || !strings.Contains(err.Error(), "ascending") {
+			t.Fatalf("duplicate positions accepted: %v", err)
+		}
+	})
+
+	t.Run("descending positions", func(t *testing.T) {
+		bad := []Sub{{Shard: 0, Kind: KindResults, Results: []*ph.Result{{
+			Positions: []int{3, 1},
+			Tuples:    []ph.EncryptedTuple{sampleTuple(1), sampleTuple(2)},
+		}}}}
+		payload := EncodeResponse(nil, version, bad)
+		if _, _, err := DecodeResponse(payload, 4); err == nil || !strings.Contains(err.Error(), "ascending") {
+			t.Fatalf("descending positions accepted: %v", err)
+		}
+	})
+
+	t.Run("unknown kind", func(t *testing.T) {
+		payload := wire.AppendU64(nil, version)
+		payload = wire.AppendU32(payload, 1)
+		payload = wire.AppendU32(payload, 0)
+		payload = wire.AppendU8(payload, 0x7F)
+		payload = wire.AppendBytes(payload, nil)
+		if _, _, err := DecodeResponse(payload, 4); err == nil || !strings.Contains(err.Error(), "kind") {
+			t.Fatalf("unknown kind accepted: %v", err)
+		}
+	})
+
+	t.Run("trailing bytes", func(t *testing.T) {
+		payload := append(append([]byte(nil), valid...), 0xFF)
+		if _, _, err := DecodeResponse(payload, 4); err == nil || !strings.Contains(err.Error(), "trailing") {
+			t.Fatalf("trailing bytes accepted: %v", err)
+		}
+	})
+
+	t.Run("sub-payload trailing bytes", func(t *testing.T) {
+		body := wire.AppendU32(nil, 0) // zero results...
+		body = append(body, 0xAB)      // ...then junk
+		payload := wire.AppendU64(nil, version)
+		payload = wire.AppendU32(payload, 1)
+		payload = wire.AppendU32(payload, 0)
+		payload = wire.AppendU8(payload, KindResults)
+		payload = wire.AppendBytes(payload, body)
+		if _, _, err := DecodeResponse(payload, 4); err == nil || !strings.Contains(err.Error(), "trailing") {
+			t.Fatalf("sub-payload trailing bytes accepted: %v", err)
+		}
+	})
+}
+
+func TestShardAcksRoundTripAndHostile(t *testing.T) {
+	acks := []Ack{
+		{Shard: 0, Base: 10, Count: 2, Version: 5},
+		{Shard: 3, Base: 0, Count: 1, Version: 1},
+	}
+	payload := EncodeAcks(nil, 9, acks)
+	version, got, err := DecodeAcks(payload, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 9 || len(got) != 2 || got[0] != acks[0] || got[1] != acks[1] {
+		t.Fatalf("acks decoded wrong: v=%d %+v", version, got)
+	}
+
+	for i := 0; i < len(payload); i++ {
+		if _, _, err := DecodeAcks(payload[:i], 4); err == nil {
+			t.Fatalf("ack truncation to %d bytes accepted", i)
+		}
+	}
+	flipped := EncodeAcks(nil, 9, []Ack{acks[1], acks[0]})
+	if _, _, err := DecodeAcks(flipped, 4); err == nil || !strings.Contains(err.Error(), "ascending") {
+		t.Fatalf("descending ack shard ids accepted: %v", err)
+	}
+	if _, _, err := DecodeAcks(payload, 2); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("ack shard id outside map accepted: %v", err)
+	}
+	bomb := wire.AppendU64(nil, 9)
+	bomb = wire.AppendU32(bomb, 0xFFFFFFFF)
+	if _, _, err := DecodeAcks(bomb, 4); err == nil {
+		t.Fatal("length-bomb ack count accepted")
+	}
+}
+
+func TestQueryRequestRoundTrip(t *testing.T) {
+	qs := []*ph.EncryptedQuery{
+		{SchemeID: "swp-ph", Token: []byte{1, 2, 3}},
+		{SchemeID: "swp-ph", Token: []byte{4, 5}},
+	}
+	payload := EncodeQueryRequest(nil, "emp", wire.ShardFlagVerified, qs)
+	name, flags, got, err := DecodeQueryRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "emp" || flags != wire.ShardFlagVerified || len(got) != 2 {
+		t.Fatalf("request decoded wrong: %q %#x %d", name, flags, len(got))
+	}
+	if !bytes.Equal(got[1].Token, qs[1].Token) {
+		t.Fatal("query token differs after round trip")
+	}
+	bomb := wire.AppendString(nil, "emp")
+	bomb = wire.AppendU8(bomb, 0)
+	bomb = wire.AppendU32(bomb, 0xFFFFFFFF)
+	if _, _, _, err := DecodeQueryRequest(bomb); err == nil {
+		t.Fatal("length-bomb query count accepted")
+	}
+}
+
+func TestMapRouteDeterministicAndSplitOrder(t *testing.T) {
+	m := Map{Version: 3, Count: 4}
+	tuples := make([]ph.EncryptedTuple, 64)
+	for i := range tuples {
+		tuples[i] = sampleTuple(byte(i))
+	}
+	parts := m.Split(tuples)
+	if len(parts) != 4 {
+		t.Fatalf("split into %d parts", len(parts))
+	}
+	total := 0
+	for s, part := range parts {
+		total += len(part)
+		prev := -1
+		for _, tp := range part {
+			if m.Route(tp) != s {
+				t.Fatal("tuple routed to the wrong part")
+			}
+			idx := int(tp.ID[0])
+			if idx <= prev {
+				t.Fatal("split does not preserve input order")
+			}
+			prev = idx
+		}
+	}
+	if total != len(tuples) {
+		t.Fatalf("split covers %d of %d tuples", total, len(tuples))
+	}
+	// A different map version is a different placement epoch.
+	m2 := Map{Version: 4, Count: 4}
+	moved := false
+	for _, tp := range tuples {
+		if m.Route(tp) != m2.Route(tp) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("bumping the map version did not reshuffle any tuple")
+	}
+}

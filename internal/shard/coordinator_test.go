@@ -1,0 +1,444 @@
+package shard
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// startShardConn serves store over an in-memory pipe and returns the
+// client side.
+func startShardConn(t *testing.T, store *storage.Store) *client.Conn {
+	t.Helper()
+	srv := server.New(store, log.New(shardTestWriter{t}, "", 0))
+	cliSide, srvSide := net.Pipe()
+	go srv.ServeConn(srvSide)
+	conn := client.NewConn(cliSide)
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+type shardTestWriter struct{ t *testing.T }
+
+func (w shardTestWriter) Write(p []byte) (int, error) {
+	w.t.Logf("server: %s", strings.TrimSpace(string(p)))
+	return len(p), nil
+}
+
+// newCluster builds an in-process coordinator over n piped memory
+// stores and returns both, so tests can reach behind a shard's server.
+func newCluster(t *testing.T, n int) (*Coordinator, []*storage.Store) {
+	t.Helper()
+	stores := make([]*storage.Store, n)
+	pools := make([]*client.ReadPool, n)
+	for i := range stores {
+		stores[i] = storage.NewMemory()
+		pools[i] = client.NewReadPool(startShardConn(t, stores[i]))
+	}
+	co, err := NewCoordinator(Map{Version: 1, Count: n}, pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return co, stores
+}
+
+func shardSchema() *relation.Schema {
+	return relation.MustSchema("emp",
+		relation.Column{Name: "name", Type: relation.TypeString, Width: 12},
+		relation.Column{Name: "dept", Type: relation.TypeString, Width: 5},
+		relation.Column{Name: "salary", Type: relation.TypeInt, Width: 6},
+	)
+}
+
+func shardTable() *relation.Table {
+	t := relation.NewTable(shardSchema())
+	depts := []string{"HR", "IT", "OPS"}
+	for i := 0; i < 24; i++ {
+		t.MustInsert(
+			relation.String(fmt.Sprintf("emp%02d", i)),
+			relation.String(depts[i%len(depts)]),
+			relation.Int(int64(5000+100*i)),
+		)
+	}
+	return t
+}
+
+func shardScheme(t *testing.T) ph.Scheme {
+	t.Helper()
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.New(key, shardSchema(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// rowsOf renders a table's rows as sorted strings: sharded unions
+// concatenate per-shard matches in shard order, so equivalence against
+// a single-server oracle is up to row order.
+func rowsOf(t *relation.Table) []string {
+	rows := make([]string, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		rows[i] = fmt.Sprintf("%v", t.Tuple(i))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+func sameRows(t *testing.T, label string, got, want *relation.Table) {
+	t.Helper()
+	g, w := rowsOf(got), rowsOf(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: %d rows, oracle has %d", label, len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: row %d differs:\n%s\nvs\n%s", label, i, g[i], w[i])
+		}
+	}
+}
+
+// TestShardedEquivalence: every read path over a 4-shard cluster
+// answers exactly what a single-server oracle answers.
+func TestShardedEquivalence(t *testing.T) {
+	co, _ := newCluster(t, 4)
+	scheme := shardScheme(t)
+	db := client.NewShardedDB(co, scheme, "emp")
+	oracle := client.NewDB(startShardConn(t, storage.NewMemory()), scheme, "emp")
+
+	src := shardTable()
+	if err := db.CreateTable(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.CreateTable(src); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		"SELECT * FROM emp WHERE dept = 'HR'",
+		"SELECT * FROM emp WHERE dept = 'IT' AND salary = 5100",
+		"SELECT * FROM emp",
+		"SELECT * FROM emp WHERE name = 'emp07'",
+		"SELECT * FROM emp WHERE dept = 'NONE'",
+	}
+	for _, q := range queries {
+		got, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("sharded %q: %v", q, err)
+		}
+		want, err := oracle.Query(q)
+		if err != nil {
+			t.Fatalf("oracle %q: %v", q, err)
+		}
+		sameRows(t, q, got, want)
+	}
+
+	// Inserts advance the per-shard pinned vector; reads stay verified
+	// and equivalent.
+	extra := []relation.Tuple{
+		{relation.String("newhire1"), relation.String("HR"), relation.Int(4000)},
+		{relation.String("newhire2"), relation.String("IT"), relation.Int(4100)},
+		{relation.String("newhire3"), relation.String("OPS"), relation.Int(4200)},
+	}
+	if err := db.Insert(extra...); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.Insert(extra...); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"SELECT * FROM emp WHERE dept = 'HR'", "SELECT * FROM emp"} {
+		got, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("sharded %q after insert: %v", q, err)
+		}
+		want, err := oracle.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRows(t, q+" after insert", got, want)
+	}
+
+	// Explain reports the scatter.
+	info, err := db.Explain("SELECT * FROM emp WHERE dept = 'HR'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info, "scattered to 4 shards") {
+		t.Fatalf("explain does not mention the scatter: %q", info)
+	}
+}
+
+// TestShardedRootVectorPersistence: ShardRoots/PinShardRoots carry the
+// root-of-roots across a client restart, and the first insert after the
+// restart rebuilds per-shard frontiers verified against the vector.
+func TestShardedRootVectorPersistence(t *testing.T) {
+	co, _ := newCluster(t, 3)
+	scheme := shardScheme(t)
+	db := client.NewShardedDB(co, scheme, "emp")
+	if err := db.CreateTable(shardTable()); err != nil {
+		t.Fatal(err)
+	}
+	roots, tuples := db.ShardRoots()
+	if len(roots) != 3 {
+		t.Fatalf("%d pinned roots, want 3", len(roots))
+	}
+
+	// "Restart": a fresh DB with only the persisted vector.
+	db2 := client.NewShardedDB(co, scheme, "emp")
+	if err := db2.PinShardRoots(roots, tuples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db2.Select(relation.Eq{Column: "dept", Value: relation.String("HR")})
+	if err != nil {
+		t.Fatalf("verified select with re-pinned vector: %v", err)
+	}
+	if got.Len() == 0 {
+		t.Fatal("verified select returned nothing")
+	}
+	if err := db2.Insert(relation.Tuple{relation.String("rejoin"), relation.String("HR"), relation.Int(1)}); err != nil {
+		t.Fatalf("insert after re-pin (frontier rebuild): %v", err)
+	}
+	got, err = db2.Select(relation.Eq{Column: "name", Value: relation.String("rejoin")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("inserted row not found: %d rows", got.Len())
+	}
+
+	// A wrong-length vector is refused.
+	if err := db2.PinShardRoots(roots[:2], tuples[:2]); err == nil {
+		t.Fatal("short root vector accepted")
+	}
+}
+
+// TestConcurrentInsertVsScatterQuery exercises the coordinator from two
+// goroutines — one inserting, one scatter-querying — under -race. The
+// per-shard pools serialise access to each connection; the coordinator
+// itself must be safe for concurrent scatters.
+func TestConcurrentInsertVsScatterQuery(t *testing.T) {
+	co, _ := newCluster(t, 4)
+	scheme := shardScheme(t)
+	writer := client.NewShardedDB(co, scheme, "emp")
+	reader := client.NewShardedDB(co, scheme, "emp")
+	if err := writer.CreateTable(shardTable()); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errCh := make(chan error, 2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			err := writer.Insert(relation.Tuple{
+				relation.String(fmt.Sprintf("conc%02d", i)),
+				relation.String("HR"),
+				relation.Int(int64(i)),
+			})
+			if err != nil {
+				errCh <- fmt.Errorf("insert %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			got, err := reader.Select(relation.Eq{Column: "dept", Value: relation.String("IT")})
+			if err != nil {
+				errCh <- fmt.Errorf("select %d: %w", i, err)
+				return
+			}
+			if got.Len() == 0 {
+				errCh <- fmt.Errorf("select %d returned nothing", i)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestKillShardMidQuery: severing one shard's only connection turns the
+// scatter into a deterministic error naming the shard — no hang, no
+// partial merge — while a shard with a replica rides through the loss
+// of a follower with quarantine + failover.
+func TestKillShardMidQuery(t *testing.T) {
+	stores := []*storage.Store{storage.NewMemory(), storage.NewMemory(), storage.NewMemory()}
+	conns := make([]*client.Conn, 3)
+	pools := make([]*client.ReadPool, 3)
+	for i := range stores {
+		conns[i] = startShardConn(t, stores[i])
+		pools[i] = client.NewReadPool(conns[i])
+	}
+	// Shard 2 gets a flaky replica: first dial works, then dies.
+	srv2 := server.New(stores[2], nil)
+	var handed []net.Conn
+	dead := false
+	pools[2].AddReplica(func() (*client.Conn, error) {
+		if dead {
+			return nil, fmt.Errorf("replica is down")
+		}
+		cliSide, srvSide := net.Pipe()
+		go srv2.ServeConn(srvSide)
+		handed = append(handed, cliSide, srvSide)
+		return client.NewConn(cliSide), nil
+	})
+	co, err := NewCoordinator(Map{Version: 1, Count: 3}, pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := shardScheme(t)
+	db := client.NewShardedDB(co, scheme, "emp")
+	if err := db.CreateTable(shardTable()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Select(relation.Eq{Column: "dept", Value: relation.String("HR")}); err != nil {
+		t.Fatalf("healthy scatter: %v", err)
+	}
+
+	// Kill shard 2's replica: reads fail over to its primary.
+	dead = true
+	for _, c := range handed {
+		c.Close()
+	}
+	if _, err := db.Select(relation.Eq{Column: "dept", Value: relation.String("HR")}); err != nil {
+		t.Fatalf("scatter after replica loss: %v", err)
+	}
+	stats := co.ShardStats()
+	if stats[2].ReplicaFailures == 0 && stats[2].Failovers == 0 {
+		t.Fatalf("replica loss left no trace in shard 2 stats: %+v", stats[2])
+	}
+
+	// Kill shard 1 outright: the scatter fails loudly, naming the shard.
+	conns[1].Close()
+	_, err = db.Select(relation.Eq{Column: "dept", Value: relation.String("HR")})
+	if err == nil {
+		t.Fatal("scatter with a dead shard succeeded")
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("error does not name the dead shard: %v", err)
+	}
+}
+
+// TestByzantineShardDrill: one mutated tuple on one shard.
+//
+// Sole-primary variant: the pinned root vector rejects the shard's
+// sub-answer and the whole read fails loudly — the merge is never
+// poisoned. Byzantine-follower variant: the verification callback runs
+// inside the shard's read routing, so the lying follower is quarantined
+// like a dead one, the shard's primary serves the retry, and the read
+// succeeds while the failure is counted.
+func TestByzantineShardDrill(t *testing.T) {
+	co, stores := newCluster(t, 4)
+	scheme := shardScheme(t)
+	db := client.NewShardedDB(co, scheme, "emp")
+	if err := db.CreateTable(shardTable()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a shard that actually holds tuples and flip one ciphertext
+	// byte behind the authenticated index.
+	target := -1
+	for i, st := range stores {
+		ct, err := st.Get("emp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ct.Tuples) > 0 {
+			target = i
+			mutated := ct.Clone()
+			mutated.Tuples[0].ID[0] ^= 0xFF
+			if err := st.Put("emp", mutated); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no shard holds tuples")
+	}
+
+	_, err := db.Select(relation.Eq{Column: "dept", Value: relation.String("HR")})
+	if err == nil {
+		t.Fatal("verified scatter accepted a mutated shard")
+	}
+	if !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("rejection does not name the shard: %v", err)
+	}
+}
+
+func TestByzantineFollowerQuarantinedShardKeepsServing(t *testing.T) {
+	// Three honest shards; shard 0 additionally has a Byzantine
+	// follower serving a mutated copy of its partition.
+	co, stores := newCluster(t, 3)
+	scheme := shardScheme(t)
+	db := client.NewShardedDB(co, scheme, "emp")
+	if err := db.CreateTable(shardTable()); err != nil {
+		t.Fatal(err)
+	}
+
+	target := -1
+	for i, st := range stores {
+		ct, err := st.Get("emp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ct.Tuples) == 0 {
+			continue
+		}
+		target = i
+		evil := storage.NewMemory()
+		mutated := ct.Clone()
+		mutated.Tuples[0].ID[0] ^= 0xFF
+		if err := evil.Put("emp", mutated); err != nil {
+			t.Fatal(err)
+		}
+		evilSrv := server.New(evil, nil)
+		if err := co.AddShardReplicas(i, client.DialConfig{DialFunc: func(string) (net.Conn, error) {
+			cliSide, srvSide := net.Pipe()
+			go evilSrv.ServeConn(srvSide)
+			return cliSide, nil
+		}}, "byzantine"); err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if target < 0 {
+		t.Fatal("no shard holds tuples")
+	}
+
+	// The read succeeds: the follower's mutated sub-answer fails the
+	// pinned vector inside the routing, quarantines it, and the shard's
+	// primary answers the retry.
+	got, err := db.Select(relation.Eq{Column: "dept", Value: relation.String("HR")})
+	if err != nil {
+		t.Fatalf("verified scatter with Byzantine follower: %v", err)
+	}
+	if got.Len() == 0 {
+		t.Fatal("verified scatter returned nothing")
+	}
+	stats := co.ShardStats()
+	if stats[target].ReplicaFailures == 0 {
+		t.Fatalf("Byzantine follower was not detected: %+v", stats[target])
+	}
+}

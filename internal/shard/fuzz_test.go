@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/ph"
+	"repro/internal/wire"
+)
+
+// FuzzDecodeShardResponse drives the hostile-response decoder with a
+// seed corpus of the attacks the codec must survive: truncations,
+// flipped and duplicated shard ids, duplicate merge positions, and
+// declared-count length bombs. The invariant is total: any byte string
+// either decodes into well-formed subs (ascending shard ids inside the
+// map, strictly ascending positions) or errors — never panics, never
+// over-allocates on a declared count the payload cannot back.
+func FuzzDecodeShardResponse(f *testing.F) {
+	version, subs := uint64(7), []Sub(nil)
+	{
+		_, s := sampleResponse()
+		subs = s
+	}
+	valid := EncodeResponse(nil, version, subs)
+	f.Add(append([]byte(nil), valid...))
+	// Truncations at every structural boundary.
+	for _, cut := range []int{0, 4, 8, 12, 16, 17, 21, len(valid) / 2, len(valid) - 1} {
+		if cut <= len(valid) {
+			f.Add(append([]byte(nil), valid[:cut]...))
+		}
+	}
+	// Flipped (descending) and duplicated shard ids.
+	f.Add(EncodeResponse(nil, version, []Sub{subs[1], subs[0]}))
+	f.Add(EncodeResponse(nil, version, []Sub{subs[0], subs[0]}))
+	// Duplicate and descending positions inside one shard's result.
+	for _, positions := range [][]int{{2, 2}, {3, 1}} {
+		bad := Sub{Shard: 0, Kind: KindResults, Results: []*ph.Result{{
+			Positions: positions,
+			Tuples:    []ph.EncryptedTuple{sampleTuple(1), sampleTuple(2)},
+		}}}
+		f.Add(EncodeResponse(nil, version, []Sub{bad}))
+	}
+	// Length bombs: hostile declared counts over tiny payloads.
+	bomb := wire.AppendU64(nil, version)
+	bomb = wire.AppendU32(bomb, 0xFFFFFFFF)
+	f.Add(bomb)
+	inner := wire.AppendU64(nil, version)
+	inner = wire.AppendU32(inner, 1)
+	inner = wire.AppendU32(inner, 0)
+	inner = wire.AppendU8(inner, KindResults)
+	inner = wire.AppendBytes(inner, wire.AppendU32(nil, 0xFFFFFFFF))
+	f.Add(inner)
+	// Unknown kind byte and trailing garbage.
+	unknown := wire.AppendU64(nil, version)
+	unknown = wire.AppendU32(unknown, 1)
+	unknown = wire.AppendU32(unknown, 0)
+	unknown = wire.AppendU8(unknown, 0x7F)
+	unknown = wire.AppendBytes(unknown, nil)
+	f.Add(unknown)
+	f.Add(append(append([]byte(nil), valid...), 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, subs, err := DecodeResponse(data, 8)
+		if err != nil {
+			return
+		}
+		prev := -1
+		for _, sub := range subs {
+			if sub.Shard <= prev || sub.Shard >= 8 {
+				t.Fatalf("decoder admitted out-of-order shard id %d", sub.Shard)
+			}
+			prev = sub.Shard
+			for _, res := range sub.Results {
+				for i, p := range res.Positions {
+					if p < 0 || (i > 0 && p <= res.Positions[i-1]) {
+						t.Fatalf("decoder admitted malformed positions %v", res.Positions)
+					}
+				}
+			}
+		}
+	})
+}

@@ -92,6 +92,21 @@ const (
 	// holds the identified snapshot it serves a fresh one from offset 0
 	// under the new identity, and the follower restarts reassembly.
 	CmdShipSnapshot byte = 0x0E
+	// CmdShardQuery asks a shard coordinator (internal/shard) to scatter
+	// a read to every shard and answer with the per-shard sub-results,
+	// framed by shard id, instead of a merged whole. Payload: name |
+	// flags:u8 (ShardFlag*) | count:u32 | queries. The per-shard framing
+	// exists for the trust model: each shard keeps its own authenticated
+	// index, so a verifying client needs each shard's (result, proofs,
+	// root) separately to check it against its pinned root *vector* —
+	// a merged answer would have no root to verify against.
+	CmdShardQuery byte = 0x0F
+	// CmdShardInsert appends encrypted tuples through a shard
+	// coordinator, which hash-partitions them over its shards, and
+	// answers with one placement ack per shard touched (RespInsertedShard)
+	// so a verifying client can advance its per-shard pinned roots from
+	// local leaf hashes. Payload: as CmdInsertStamped.
+	CmdShardInsert byte = 0x10
 
 	// RespOK acknowledges a command with no payload.
 	RespOK byte = 0x81
@@ -138,6 +153,18 @@ const (
 	// verified as a unit by the installer (storage.InstallSnapshot), so
 	// transfer corruption can fail an install but never corrupt one.
 	RespSnapshotChunk byte = 0x8D
+	// RespResultShard answers CmdShardQuery with the partition-map
+	// version and one sub-result per shard in strictly ascending shard
+	// order: mapVersion:u64 | count:u32 | per shard shard:u32 | kind:u8 |
+	// payload (u32-length-prefixed). kind selects the sub-payload codec:
+	// a plain ph.Result, an authindex.VerifiedResult, or a
+	// query.Response (conjunctive). See internal/shard for the codec.
+	RespResultShard byte = 0x8E
+	// RespInsertedShard answers CmdShardInsert with the partition-map
+	// version and one placement ack per shard that received tuples, in
+	// strictly ascending shard order: mapVersion:u64 | count:u32 | per
+	// shard shard:u32 | base:u32 | tuples:u32 | version:u64.
+	RespInsertedShard byte = 0x8F
 )
 
 // LogRecord is one replicated write-ahead-log record as it crosses the
@@ -151,6 +178,23 @@ type LogRecord struct {
 	// Payload is the record body, in the storage log's encoding.
 	Payload []byte
 }
+
+// CmdShardQuery request flag bits.
+const (
+	// ShardFlagVerified asks each shard for a verified sub-result
+	// (result, proofs, root, leaf count, version from one snapshot of
+	// that shard's table) instead of a plain one.
+	ShardFlagVerified byte = 1 << 0
+	// ShardFlagConj treats the queries as one conjunction, scattered to
+	// every shard's selectivity-ordered planner (a conjunction over a
+	// disjoint partition is the union of the per-shard intersections).
+	ShardFlagConj byte = 1 << 1
+	// ShardFlagFetch downloads each shard's full partition (no queries
+	// in the payload); sub-payloads carry EncryptedTables. Clients use
+	// it to rebuild per-shard Merkle frontiers against a pinned root
+	// vector, so partitions must come back whole and in shard order.
+	ShardFlagFetch byte = 1 << 2
+)
 
 // CmdQueryConj request flag bits.
 const (
