@@ -295,7 +295,7 @@ func Evaluate(et *ph.EncryptedTable, q *ph.EncryptedQuery) (*ph.Result, error) {
 	}
 	positions := shardScan(len(et.Tuples), swp.NewMatcher(params, td),
 		func(lo, hi int, m *swp.Matcher) []int {
-			return scanTuples(et.Tuples[lo:hi], lo, m, make([]int, 0, positionsCap(hi-lo)))
+			return MatchTuples(et.Tuples[lo:hi], lo, m, make([]int, 0, PositionsCap(hi-lo)))
 		})
 	return ph.SelectPositions(et, positions), nil
 }
@@ -318,19 +318,15 @@ func shardScan(n int, base *swp.Matcher, scan func(lo, hi int, m *swp.Matcher) [
 	if workers < 2 {
 		return scan(0, n, base)
 	}
-	chunk := (n + workers - 1) / workers
 	results := make([][]int, workers)
-	var wg sync.WaitGroup
-	for w := 1; w < workers && w*chunk < n; w++ {
-		lo, hi := w*chunk, min((w+1)*chunk, n)
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			results[w] = scan(lo, hi, base.Clone())
-		}(w, lo, hi)
+	matchers := make([]*swp.Matcher, workers)
+	matchers[0] = base
+	for w := 1; w < workers; w++ {
+		matchers[w] = base.Clone()
 	}
-	results[0] = scan(0, chunk, base)
-	wg.Wait()
+	ShardWindow(workers, 0, n, func(lo, hi, slot int) {
+		results[slot] = scan(lo, hi, matchers[slot])
+	})
 	total := 0
 	for _, r := range results {
 		total += len(r)
@@ -342,6 +338,65 @@ func shardScan(n int, base *swp.Matcher, scan func(lo, hi int, m *swp.Matcher) [
 	return hits
 }
 
+// ShardWindow splits the tuple window [lo, hi) into up to workers
+// contiguous chunks and runs scan(chunkLo, chunkHi, slot) on each, slot 0
+// on the calling goroutine and every other slot on its own goroutine. It
+// returns when all chunks are done. Slots are dense in [0, workers): a
+// caller can pre-provision one Matcher (or result buffer) per slot and
+// know exactly which goroutine touches it, which is how scans stay
+// allocation-free and data-race-free without locks.
+//
+// ShardWindow deliberately performs NO scheduler-budget accounting — the
+// caller owns the worker allotment. That split is what lets a shared scan
+// pass (internal/scanshare) amortise ONE budget Acquire over an entire
+// multi-rider pass instead of drawing per query, while core's own
+// shardScan keeps its draw-per-scan behaviour on top of the same
+// primitive.
+func ShardWindow(workers, lo, hi int, scan func(lo, hi, slot int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		scan(lo, hi, 0)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		clo := lo + w*chunk
+		if clo >= hi {
+			break
+		}
+		chi := min(clo+chunk, hi)
+		wg.Add(1)
+		go func(clo, chi, slot int) {
+			defer wg.Done()
+			scan(clo, chi, slot)
+		}(clo, chi, w)
+	}
+	scan(lo, lo+chunk, 0)
+	wg.Wait()
+}
+
+// TokenMatcher decodes an encrypted query's token against a table's
+// metadata and returns the ready-to-scan ψ matcher. The matcher (like the
+// trapdoor it wraps) aliases the token, so the caller must keep the token
+// alive for the matcher's life; a Matcher is not goroutine-safe — Clone
+// per extra worker. This is the admission-side half of Evaluate, exported
+// for the scan-sharing layer, which decodes once per rider and then scans
+// many riders inside one pass.
+func TokenMatcher(meta, token []byte) (*swp.Matcher, error) {
+	td, params, err := decodeQueryToken(meta, token)
+	if err != nil {
+		return nil, err
+	}
+	return swp.NewMatcher(params, td), nil
+}
+
 // EvaluateSerial is the single-threaded reference implementation of
 // Evaluate. It exists for differential tests and as the before-side of the
 // parallel-speedup benchmarks; Evaluate must always produce the same result.
@@ -351,7 +406,7 @@ func EvaluateSerial(et *ph.EncryptedTable, q *ph.EncryptedQuery) (*ph.Result, er
 		return nil, err
 	}
 	m := swp.NewMatcher(params, td)
-	positions := scanTuples(et.Tuples, 0, m, make([]int, 0, positionsCap(len(et.Tuples))))
+	positions := MatchTuples(et.Tuples, 0, m, make([]int, 0, PositionsCap(len(et.Tuples))))
 	return ph.SelectPositions(et, positions), nil
 }
 
@@ -376,7 +431,7 @@ func EvaluateOn(et *ph.EncryptedTable, q *ph.EncryptedQuery, candidates []int) (
 	if candidates == nil {
 		return shardScan(n, swp.NewMatcher(params, td),
 			func(lo, hi int, m *swp.Matcher) []int {
-				return scanTuples(et.Tuples[lo:hi], lo, m, make([]int, 0, positionsCap(hi-lo)))
+				return MatchTuples(et.Tuples[lo:hi], lo, m, make([]int, 0, PositionsCap(hi-lo)))
 			}), nil
 	}
 	for i, p := range candidates {
@@ -407,11 +462,14 @@ func scanCandidates(tuples []ph.EncryptedTuple, candidates []int, m *swp.Matcher
 	return hits
 }
 
-// scanTuples appends base+i for every tuple in tuples whose document
-// matches, reusing one Matcher across the whole chunk. The Matcher rejects
-// cipherwords of other lengths itself, which is how mixed-width documents
-// (PerColumnWidth layouts) skip non-candidate words.
-func scanTuples(tuples []ph.EncryptedTuple, base int, m *swp.Matcher, hits []int) []int {
+// MatchTuples appends base+i to hits for every tuple in tuples whose
+// document matches, reusing one Matcher across the whole chunk. The
+// Matcher rejects cipherwords of other lengths itself, which is how
+// mixed-width documents (PerColumnWidth layouts) skip non-candidate
+// words. Exported for the scan-sharing layer, whose pass runs this exact
+// loop once per (rider, chunk) so shared results stay byte-identical to
+// EvaluateSerial per rider.
+func MatchTuples(tuples []ph.EncryptedTuple, base int, m *swp.Matcher, hits []int) []int {
 	for i := range tuples {
 		for _, cw := range tuples[i].Words {
 			if m.Match(cw) {
@@ -423,10 +481,10 @@ func scanTuples(tuples []ph.EncryptedTuple, base int, m *swp.Matcher, hits []int
 	return hits
 }
 
-// positionsCap sizes the hit slice for a scan of n tuples: exact selects
+// PositionsCap sizes the hit slice for a scan of n tuples: exact selects
 // usually return a small fraction of the table, so reserve an eighth (plus
 // slack for tiny tables) and let append grow the rare broad result.
-func positionsCap(n int) int {
+func PositionsCap(n int) int {
 	return n/8 + 8
 }
 

@@ -133,6 +133,12 @@ type Plan struct {
 	Tuples int
 	// Conjuncts are the predicates in execution order.
 	Conjuncts []*Conjunct
+	// FullScan, when non-nil, serves the driver conjunct's uncached
+	// full-table positions-only scan — the storage layer points it at
+	// the scan-sharing layer, so a cold driver rides a shared pass
+	// instead of starting its own. ok=false means the hook cannot serve
+	// the query's scheme and Run falls back to ph.ApplyOn.
+	FullScan func(q *ph.EncryptedQuery) (positions []int, ok bool, err error)
 }
 
 // scanCost approximates the positions this conjunct must test to
@@ -223,9 +229,16 @@ func (p *Plan) Run(et *ph.EncryptedTable) ([]int, error) {
 			} else {
 				// Nil candidates = whole table (the Narrower contract):
 				// a positions-only full scan, no candidate list built.
-				positions, err := ph.ApplyOn(et, cj.Q, nil)
+				// Prefer the shared-scan hook when the storage layer
+				// installed one — same positions, one coalesced pass.
+				positions, served, err := p.fullScan(cj.Q)
 				if err != nil {
 					return nil, err
+				}
+				if !served {
+					if positions, err = ph.ApplyOn(et, cj.Q, nil); err != nil {
+						return nil, err
+					}
 				}
 				full = positions
 				cj.Source = SourceScan
@@ -290,6 +303,14 @@ func (p *Plan) Annotate() {
 			}
 		}
 	}
+}
+
+// fullScan consults the plan's shared-scan hook, if any.
+func (p *Plan) fullScan(q *ph.EncryptedQuery) ([]int, bool, error) {
+	if p.FullScan == nil {
+		return nil, false, nil
+	}
+	return p.FullScan(q)
 }
 
 // ascending returns the positions [lo, hi) as an ascending slice. The

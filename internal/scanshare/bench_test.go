@@ -1,0 +1,52 @@
+package scanshare
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ph"
+)
+
+// benchRiders measures R simultaneous cold queries against one table,
+// either riding a shared pass or each running its own core.Evaluate —
+// the per-query baseline the batch fanout used to force.
+func benchRiders(b *testing.B, riders int, shared bool) {
+	f := newFixture(b, 4096, 42)
+	queries := make([]*ph.EncryptedQuery, riders)
+	for i := range queries {
+		queries[i] = f.nameQuery(b, fmt.Sprintf("Bench%03d", i))
+	}
+	snap := Snapshot{SchemeID: f.et.SchemeID, Meta: f.et.Meta, Tuples: f.et.Tuples}
+	key := new(int)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(0)
+		var wg sync.WaitGroup
+		for _, q := range queries {
+			wg.Add(1)
+			go func(q *ph.EncryptedQuery) {
+				defer wg.Done()
+				if shared {
+					if _, ok, err := s.Scan(key, snap, q); err != nil || !ok {
+						b.Errorf("shared scan: ok=%v err=%v", ok, err)
+					}
+				} else {
+					if _, err := core.Evaluate(f.et, q); err != nil {
+						b.Error(err)
+					}
+				}
+			}(q)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkSharedScan2Riders(b *testing.B)  { benchRiders(b, 2, true) }
+func BenchmarkSharedScan16Riders(b *testing.B) { benchRiders(b, 16, true) }
+func BenchmarkSharedScan64Riders(b *testing.B) { benchRiders(b, 64, true) }
+
+func BenchmarkPerQueryScan2Riders(b *testing.B)  { benchRiders(b, 2, false) }
+func BenchmarkPerQueryScan16Riders(b *testing.B) { benchRiders(b, 16, false) }
+func BenchmarkPerQueryScan64Riders(b *testing.B) { benchRiders(b, 64, false) }

@@ -1,0 +1,466 @@
+package scanshare
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// fixture is an encrypted employees table plus ready-made query tokens.
+type fixture struct {
+	scheme *core.PH
+	et     *ph.EncryptedTable
+}
+
+func newFixture(t testing.TB, tuples int, seed int64) *fixture {
+	t.Helper()
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := workload.Employees(tuples, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := core.New(key, table.Schema(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := scheme.EncryptTable(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{scheme: scheme, et: et}
+}
+
+// deptQuery returns the encrypted select for one department value.
+func (f *fixture) deptQuery(t testing.TB, dept string) *ph.EncryptedQuery {
+	t.Helper()
+	q, err := f.scheme.EncryptQuery(relation.Eq{Column: "dept", Value: relation.String(dept)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// nameQuery returns the encrypted select for a name value; names are
+// near-distinct, so this mints many distinct trapdoors.
+func (f *fixture) nameQuery(t testing.TB, name string) *ph.EncryptedQuery {
+	t.Helper()
+	q, err := f.scheme.EncryptQuery(relation.Eq{Column: "name", Value: relation.String(name)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// serialPositions is the ground truth: EvaluateSerial over a snapshot
+// prefix of n tuples.
+func serialPositions(t testing.TB, et *ph.EncryptedTable, q *ph.EncryptedQuery, n int) []int {
+	t.Helper()
+	snap := &ph.EncryptedTable{SchemeID: et.SchemeID, Meta: et.Meta, Tuples: et.Tuples[:n]}
+	res, err := core.EvaluateSerial(snap, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Positions
+}
+
+// waitIdle polls until the sharer has no live pass (the rider's Scan
+// returns at result publication, one boundary before the pass retires).
+func waitIdle(t *testing.T, s *Sharer) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.passes)
+		s.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sharer still has %d live passes", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitRiders polls until the sharer has registered want rider groups.
+func waitRiders(t *testing.T, s *Sharer, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Riders < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d riders registered", s.Stats().Riders, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSingleRiderMatchesSerial(t *testing.T) {
+	f := newFixture(t, 2000, 1)
+	s := New(256)
+	key := new(int)
+	for _, dept := range []string{"HR", "FIN", "IT"} {
+		q := f.deptQuery(t, dept)
+		got, ok, err := s.Scan(key, Snapshot{SchemeID: f.et.SchemeID, Meta: f.et.Meta, Tuples: f.et.Tuples}, q)
+		if err != nil || !ok {
+			t.Fatalf("Scan(%s) = ok=%v err=%v", dept, ok, err)
+		}
+		want := serialPositions(t, f.et, q, len(f.et.Tuples))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("dept %s: shared positions diverge from serial (%d vs %d hits)", dept, len(got), len(want))
+		}
+	}
+	// The zero-rider degenerate path: with no rider pending, every pass
+	// must have retired and unkeyed itself.
+	waitIdle(t, s)
+	if st := s.Stats(); st.Riders != 3 || st.Passes == 0 {
+		t.Fatalf("stats = %+v, want 3 riders over >=1 passes", st)
+	}
+}
+
+func TestManyRidersMatchSerial(t *testing.T) {
+	f := newFixture(t, 3000, 2)
+	s := New(256)
+	key := new(int)
+	queries := make([]*ph.EncryptedQuery, 24)
+	for i := range queries {
+		if i%3 == 0 {
+			queries[i] = f.deptQuery(t, workload.Departments[i%len(workload.Departments)])
+		} else {
+			queries[i] = f.nameQuery(t, fmt.Sprintf("Ada%03d", i))
+		}
+	}
+	snap := Snapshot{SchemeID: f.et.SchemeID, Meta: f.et.Meta, Tuples: f.et.Tuples}
+	results := make([][]int, len(queries))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q *ph.EncryptedQuery) {
+			defer wg.Done()
+			got, ok, err := s.Scan(key, snap, q)
+			if err != nil || !ok {
+				t.Errorf("rider %d: ok=%v err=%v", i, ok, err)
+				return
+			}
+			results[i] = got
+		}(i, q)
+	}
+	wg.Wait()
+	for i, q := range queries {
+		want := serialPositions(t, f.et, q, len(f.et.Tuples))
+		if !reflect.DeepEqual(results[i], want) {
+			t.Fatalf("rider %d diverges from serial (%d vs %d hits)", i, len(results[i]), len(want))
+		}
+	}
+	waitIdle(t, s)
+}
+
+func TestAttachedRidersShareOneScan(t *testing.T) {
+	f := newFixture(t, 2000, 3)
+	s := New(256)
+	key := new(int)
+	q := f.deptQuery(t, "SALES")
+	snap := Snapshot{SchemeID: f.et.SchemeID, Meta: f.et.Meta, Tuples: f.et.Tuples}
+
+	// Hold the pass at its first boundary until both queries are in, so
+	// the second deterministically attaches to the first rider's group.
+	release := make(chan struct{})
+	s.boundary = func(any, int) {
+		<-release
+	}
+	var wg sync.WaitGroup
+	results := make([][]int, 2)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, ok, err := s.Scan(key, snap, q)
+			if err != nil || !ok {
+				t.Errorf("query %d: ok=%v err=%v", i, ok, err)
+			}
+			results[i] = got
+		}(i)
+	}
+	waitRiders(t, s, 1)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Attached < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second query never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	want := serialPositions(t, f.et, q, len(f.et.Tuples))
+	for i := range results {
+		if !reflect.DeepEqual(results[i], want) {
+			t.Fatalf("query %d diverges from serial", i)
+		}
+	}
+	st := s.Stats()
+	if st.Riders != 1 || st.Attached != 1 || st.Passes != 1 {
+		t.Fatalf("stats = %+v, want 1 rider, 1 attached, 1 pass", st)
+	}
+	waitIdle(t, s)
+}
+
+func TestLateJoinWrapsAround(t *testing.T) {
+	f := newFixture(t, 1300, 4) // shard 256 -> 6 shards
+	s := New(256)
+	key := new(int)
+	qA := f.deptQuery(t, "OPS")
+	qB := f.deptQuery(t, "R&D")
+	snap := Snapshot{SchemeID: f.et.SchemeID, Meta: f.et.Meta, Tuples: f.et.Tuples}
+
+	atShard2 := make(chan struct{})
+	joinedB := make(chan struct{})
+	var once sync.Once
+	s.boundary = func(_ any, visited int) {
+		if visited == 2 {
+			once.Do(func() {
+				close(atShard2)
+				<-joinedB
+			})
+		}
+	}
+	var wg sync.WaitGroup
+	var gotA, gotB []int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ok bool
+		var err error
+		gotA, ok, err = s.Scan(key, snap, qA)
+		if err != nil || !ok {
+			t.Errorf("rider A: ok=%v err=%v", ok, err)
+		}
+	}()
+	<-atShard2 // pass has scanned shards 0 and 1 for A
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ok bool
+		var err error
+		gotB, ok, err = s.Scan(key, snap, qB)
+		if err != nil || !ok {
+			t.Errorf("rider B: ok=%v err=%v", ok, err)
+		}
+	}()
+	waitRiders(t, s, 2)
+	close(joinedB) // admit B at cursor 2: shards 2..5 now, 0..1 after wrap
+	wg.Wait()
+
+	if want := serialPositions(t, f.et, qA, len(f.et.Tuples)); !reflect.DeepEqual(gotA, want) {
+		t.Fatalf("rider A diverges from serial (%d vs %d hits)", len(gotA), len(want))
+	}
+	if want := serialPositions(t, f.et, qB, len(f.et.Tuples)); !reflect.DeepEqual(gotB, want) {
+		t.Fatalf("late rider B diverges from serial (%d vs %d hits)", len(gotB), len(want))
+	}
+	st := s.Stats()
+	if st.LateJoins != 1 || st.Passes != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 late join on 1 pass", st)
+	}
+	waitIdle(t, s)
+}
+
+func TestMixedSnapshotLengthsShareOnePass(t *testing.T) {
+	f := newFixture(t, 1500, 5) // shard 256: A sees 4 shards, B sees 6
+	s := New(256)
+	key := new(int)
+	qA := f.deptQuery(t, "LEGAL")
+	qB := f.deptQuery(t, "HR")
+	nA := 1024
+	snapA := Snapshot{SchemeID: f.et.SchemeID, Meta: f.et.Meta, Tuples: f.et.Tuples[:nA]}
+	snapB := Snapshot{SchemeID: f.et.SchemeID, Meta: f.et.Meta, Tuples: f.et.Tuples}
+
+	release := make(chan struct{})
+	s.boundary = func(any, int) {
+		<-release
+	}
+	var wg sync.WaitGroup
+	var gotA, gotB []int
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		var ok bool
+		var err error
+		gotA, ok, err = s.Scan(key, snapA, qA)
+		if err != nil || !ok {
+			t.Errorf("rider A: ok=%v err=%v", ok, err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		var ok bool
+		var err error
+		gotB, ok, err = s.Scan(key, snapB, qB)
+		if err != nil || !ok {
+			t.Errorf("rider B: ok=%v err=%v", ok, err)
+		}
+	}()
+	waitRiders(t, s, 2)
+	close(release)
+	wg.Wait()
+
+	if want := serialPositions(t, f.et, qA, nA); !reflect.DeepEqual(gotA, want) {
+		t.Fatalf("short-snapshot rider diverges from serial (%d vs %d hits)", len(gotA), len(want))
+	}
+	if want := serialPositions(t, f.et, qB, len(f.et.Tuples)); !reflect.DeepEqual(gotB, want) {
+		t.Fatalf("full-snapshot rider diverges from serial (%d vs %d hits)", len(gotB), len(want))
+	}
+	if st := s.Stats(); st.Passes != 1 {
+		t.Fatalf("stats = %+v, want one shared pass", st)
+	}
+	waitIdle(t, s)
+}
+
+func TestSmallTableServedInline(t *testing.T) {
+	f := newFixture(t, 200, 6)
+	s := New(0) // default shard size 1024 > 200 tuples
+	key := new(int)
+	q := f.deptQuery(t, "IT")
+	got, ok, err := s.Scan(key, Snapshot{SchemeID: f.et.SchemeID, Meta: f.et.Meta, Tuples: f.et.Tuples}, q)
+	if err != nil || !ok {
+		t.Fatalf("Scan = ok=%v err=%v", ok, err)
+	}
+	if want := serialPositions(t, f.et, q, len(f.et.Tuples)); !reflect.DeepEqual(got, want) {
+		t.Fatalf("inline scan diverges from serial")
+	}
+	st := s.Stats()
+	if st.Inline != 1 || st.Passes != 0 {
+		t.Fatalf("stats = %+v, want inline serve with no pass", st)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	f := newFixture(t, 10, 7)
+	s := New(0)
+	q := f.deptQuery(t, "FIN")
+	got, ok, err := s.Scan(new(int), Snapshot{SchemeID: f.et.SchemeID, Meta: f.et.Meta, Tuples: nil}, q)
+	if err != nil || !ok {
+		t.Fatalf("Scan on empty snapshot = ok=%v err=%v", ok, err)
+	}
+	if got == nil || len(got) != 0 {
+		t.Fatalf("empty snapshot positions = %v, want empty non-nil", got)
+	}
+}
+
+func TestDeclinesForeignScheme(t *testing.T) {
+	s := New(0)
+	q := &ph.EncryptedQuery{SchemeID: "other", Token: []byte{1, 2, 3}}
+	_, ok, err := s.Scan(new(int), Snapshot{SchemeID: "other"}, q)
+	if ok || err != nil {
+		t.Fatalf("foreign scheme: ok=%v err=%v, want declined", ok, err)
+	}
+	if st := s.Stats(); st.Declined != 1 {
+		t.Fatalf("stats = %+v, want 1 declined", st)
+	}
+}
+
+func TestBadTokenFailsLikeEvaluate(t *testing.T) {
+	f := newFixture(t, 1200, 8)
+	s := New(256)
+	q := &ph.EncryptedQuery{SchemeID: core.SchemeID, Token: []byte{1, 2, 3}}
+	_, ok, err := s.Scan(new(int), Snapshot{SchemeID: f.et.SchemeID, Meta: f.et.Meta, Tuples: f.et.Tuples}, q)
+	if !ok || err == nil {
+		t.Fatalf("bad token: ok=%v err=%v, want handled error", ok, err)
+	}
+	if _, serialErr := core.EvaluateSerial(f.et, q); serialErr == nil || serialErr.Error() != err.Error() {
+		t.Fatalf("sharer error %q does not match evaluator error %q", err, serialErr)
+	}
+}
+
+// TestSixteenRidersOneAllotment is the budget-discipline gate: a pass
+// serving 16 simultaneously admitted riders draws exactly ONE allotment
+// from the scheduler budget — the per-query path would have drawn 16.
+func TestSixteenRidersOneAllotment(t *testing.T) {
+	f := newFixture(t, 2048, 9)
+	s := New(256)
+	key := new(int)
+	queries := make([]*ph.EncryptedQuery, 16)
+	wants := make([][]int, 16)
+	for i := range queries {
+		queries[i] = f.nameQuery(t, fmt.Sprintf("Grace%02d", i))
+		wants[i] = serialPositions(t, f.et, queries[i], len(f.et.Tuples))
+	}
+	snap := Snapshot{SchemeID: f.et.SchemeID, Meta: f.et.Meta, Tuples: f.et.Tuples}
+
+	release := make(chan struct{})
+	s.boundary = func(any, int) {
+		<-release
+	}
+	budget := sched.NewBudget(runtime.GOMAXPROCS(0))
+	old := sched.SetProcess(budget)
+	defer sched.SetProcess(old)
+
+	results := make([][]int, 16)
+	var wg sync.WaitGroup
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, ok, err := s.Scan(key, snap, queries[i])
+			if err != nil || !ok {
+				t.Errorf("rider %d: ok=%v err=%v", i, ok, err)
+			}
+			results[i] = got
+		}(i)
+	}
+	waitRiders(t, s, 16)
+	close(release)
+	wg.Wait()
+	waitIdle(t, s) // the pass releases its allotment on retirement
+
+	for i := range results {
+		if !reflect.DeepEqual(results[i], wants[i]) {
+			t.Fatalf("rider %d diverges from serial", i)
+		}
+	}
+	st := s.Stats()
+	if st.Riders != 16 || st.Passes != 1 {
+		t.Fatalf("stats = %+v, want 16 riders on 1 pass", st)
+	}
+	bst := budget.Stats()
+	if bst.Acquires != 1 {
+		t.Fatalf("budget acquires = %d, want exactly 1 for a 16-rider pass", bst.Acquires)
+	}
+	if idle := budget.Idle(); idle != budget.Capacity() {
+		t.Fatalf("budget idle = %d, want full capacity %d back", idle, budget.Capacity())
+	}
+}
+
+func TestShardWindowCoversEverySlotOnce(t *testing.T) {
+	for _, tc := range []struct{ workers, lo, hi int }{
+		{1, 0, 100}, {4, 0, 100}, {8, 0, 3}, {4, 50, 60}, {4, 10, 10}, {3, 0, 1024},
+	} {
+		var mu sync.Mutex
+		covered := make(map[int]int)
+		core.ShardWindow(tc.workers, tc.lo, tc.hi, func(lo, hi, slot int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+		})
+		for i := tc.lo; i < tc.hi; i++ {
+			if covered[i] != 1 {
+				t.Fatalf("%+v: index %d covered %d times", tc, i, covered[i])
+			}
+		}
+		if len(covered) != tc.hi-tc.lo {
+			t.Fatalf("%+v: covered %d indices, want %d", tc, len(covered), tc.hi-tc.lo)
+		}
+	}
+}

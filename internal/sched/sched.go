@@ -27,6 +27,36 @@ import (
 type Budget struct {
 	capacity int64
 	avail    atomic.Int64
+
+	acquires atomic.Uint64
+	extras   atomic.Uint64
+	releases atomic.Uint64
+}
+
+// Stats are a budget's monotonic accounting counters. They exist so tests
+// can assert allotment discipline — most importantly that a shared scan
+// pass serving many riders draws ONE allotment, not one per rider.
+type Stats struct {
+	// Acquires counts Acquire calls (each is one allotment, whatever its
+	// size).
+	Acquires uint64
+	// Extras counts the extra workers granted beyond the guaranteed
+	// caller across all acquires.
+	Extras uint64
+	// Releases counts Release calls that returned extras (Release of a
+	// minimum grant of 1 is a no-op and is not counted).
+	Releases uint64
+}
+
+// Stats returns a snapshot of the budget's counters. The fields are read
+// independently, so a snapshot taken concurrently with traffic may be
+// momentarily unbalanced; quiesce before asserting exact values.
+func (b *Budget) Stats() Stats {
+	return Stats{
+		Acquires: b.acquires.Load(),
+		Extras:   b.extras.Load(),
+		Releases: b.releases.Load(),
+	}
 }
 
 // NewBudget creates a budget with the given capacity; capacities below 1
@@ -55,7 +85,12 @@ func (b *Budget) Acquire(want int) int {
 	if want < 1 {
 		want = 1
 	}
-	return 1 + b.tryAcquire(int64(want-1))
+	extra := b.tryAcquire(int64(want - 1))
+	b.acquires.Add(1)
+	if extra > 0 {
+		b.extras.Add(uint64(extra))
+	}
+	return 1 + extra
 }
 
 // Release returns the extra workers of an Acquire(…) = granted grant.
@@ -64,6 +99,7 @@ func (b *Budget) Release(granted int) {
 		return
 	}
 	b.avail.Add(int64(granted - 1))
+	b.releases.Add(1)
 }
 
 // tryAcquire claims up to want units, returning how many it got (possibly

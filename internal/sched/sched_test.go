@@ -114,3 +114,34 @@ func TestProcessBudgetSwap(t *testing.T) {
 	}
 	SetProcess(orig)
 }
+
+func TestStatsCountAllotments(t *testing.T) {
+	b := NewBudget(4)
+	if s := b.Stats(); s != (Stats{}) {
+		t.Fatalf("fresh budget stats = %+v, want zero", s)
+	}
+	g1 := b.Acquire(8) // caller + all 4 extras
+	g2 := b.Acquire(8) // saturated: caller only
+	if g1 != 5 || g2 != 1 {
+		t.Fatalf("grants = %d, %d, want 5, 1", g1, g2)
+	}
+	s := b.Stats()
+	if s.Acquires != 2 {
+		t.Fatalf("Acquires = %d, want 2", s.Acquires)
+	}
+	if s.Extras != 4 {
+		t.Fatalf("Extras = %d, want 4", s.Extras)
+	}
+	if s.Releases != 0 {
+		t.Fatalf("Releases = %d, want 0", s.Releases)
+	}
+	b.Release(g2) // minimum grant: not counted
+	b.Release(g1)
+	s = b.Stats()
+	if s.Releases != 1 {
+		t.Fatalf("Releases after returning extras = %d, want 1", s.Releases)
+	}
+	if idle := b.Idle(); idle != 4 {
+		t.Fatalf("Idle = %d, want 4", idle)
+	}
+}

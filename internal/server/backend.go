@@ -23,20 +23,27 @@ type storeBackend struct {
 
 func (b *storeBackend) Sync() error { return b.store.Sync() }
 
-// queryBatch evaluates a batch of queries against one table. The fanout is
-// no longer a hard-coded constant: it is sized from the process-wide
-// scheduler budget (internal/sched), the same budget core.Evaluate draws
-// its scan workers from, so batched queries cannot oversubscribe the
-// machine — extra intra-query parallelism and inter-query parallelism are
-// paid from one GOMAXPROCS-sized pool. The workers pull query indices
-// from a channel, so one stalled evaluation occupies only its own worker
-// and never wedges dispatch of later queries behind it (the old loop
-// acquired a semaphore while spawning and could stall the whole frame);
-// pulling also bounds live goroutines per frame at the fanout, so a
-// hostile frame declaring millions of queries cannot spawn millions of
-// goroutines. Results keep the request order; on failure the lowest-index
-// error wins and the batch fails as a unit, exactly as the serial loop
-// behaved.
+// maxBatchFanout caps the goroutines one CmdQueryBatch frame may put in
+// flight. The cap bounds per-frame goroutine count against hostile
+// frames; it deliberately exceeds the scheduler budget's capacity — see
+// queryBatch.
+const maxBatchFanout = 64
+
+// queryBatch evaluates a batch of queries against one table. The fanout
+// is sized well above the scheduler budget's capacity on purpose: with
+// the scan-sharing layer (internal/scanshare) in the store, cold queries
+// on the same table coalesce into one shared ψ pass, so most of these
+// goroutines just ride a pass (blocked on its completion) rather than
+// scanning — capping fanout at CPU count would *serialise* riders that
+// could have shared one pass. Actual scan parallelism stays bounded by
+// the sched budget, which the shared pass (and every solo scan) draws
+// its workers from. The workers pull query indices from a channel, so
+// one stalled evaluation occupies only its own worker and never wedges
+// dispatch of later queries behind it; pulling also bounds live
+// goroutines per frame at the fanout, so a hostile frame declaring
+// millions of queries cannot spawn millions of goroutines. Results keep
+// the request order; on failure the lowest-index error wins and the
+// batch fails as a unit, exactly as the serial loop behaved.
 func (b *storeBackend) queryBatch(name string, queries []*ph.EncryptedQuery) ([]*ph.Result, error) {
 	results := make([]*ph.Result, len(queries))
 	if len(queries) <= 1 {
@@ -50,7 +57,7 @@ func (b *storeBackend) queryBatch(name string, queries []*ph.EncryptedQuery) ([]
 		return results, nil
 	}
 	errs := make([]error, len(queries))
-	workers := min(len(queries), sched.Process().Capacity())
+	workers := min(len(queries), max(maxBatchFanout, sched.Process().Capacity()))
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

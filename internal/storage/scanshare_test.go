@@ -1,0 +1,334 @@
+package storage
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/ph"
+	"repro/internal/relation"
+	"repro/internal/scanshare"
+	"repro/internal/workload"
+)
+
+// shareFixture builds an encrypted employees table plus the scheme to
+// mint trapdoors with.
+type shareFixture struct {
+	scheme *core.PH
+	et     *ph.EncryptedTable
+}
+
+func newShareFixture(t testing.TB, tuples int, seed int64) *shareFixture {
+	t.Helper()
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := workload.Employees(tuples, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := core.New(key, table.Schema(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := scheme.EncryptTable(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &shareFixture{scheme: scheme, et: et}
+}
+
+func (f *shareFixture) query(t testing.TB, col, val string) *ph.EncryptedQuery {
+	t.Helper()
+	q, err := f.scheme.EncryptQuery(relation.Eq{Column: col, Value: relation.String(val)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func serialGroundTruth(t testing.TB, et *ph.EncryptedTable, q *ph.EncryptedQuery) []int {
+	t.Helper()
+	res, err := core.EvaluateSerial(et, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Positions
+}
+
+// TestQuerySharedScanMatchesSerial drives repeated cold queries through
+// the store's shared-scan miss path (cache disabled so every query is a
+// miss) and checks each answer against the serial evaluator.
+func TestQuerySharedScanMatchesSerial(t *testing.T) {
+	f := newShareFixture(t, 2000, 11)
+	s := NewMemory()
+	s.SetResultCache(nil)
+	if err := s.Put("emp", f.et); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for _, dept := range workload.Departments {
+			wg.Add(1)
+			go func(dept string) {
+				defer wg.Done()
+				q := f.query(t, "dept", dept)
+				res, err := s.Query("emp", q)
+				if err != nil {
+					t.Errorf("Query(%s): %v", dept, err)
+					return
+				}
+				want := serialGroundTruth(t, f.et, q)
+				if !reflect.DeepEqual(res.Positions, want) {
+					t.Errorf("Query(%s): %d positions, serial says %d", dept, len(res.Positions), len(want))
+				}
+			}(dept)
+		}
+		wg.Wait()
+	}
+	if st := s.ShareStats(); st.Riders+st.Attached+st.Inline == 0 {
+		t.Fatalf("share stats = %+v, miss path never reached the sharer", st)
+	}
+}
+
+// stripedEmployees builds a table where dept == "FIN" exactly at
+// positions that are multiples of stride, so any snapshot prefix has a
+// predictable match set.
+func stripedEmployees(t testing.TB, n, stride int) (*relation.Table, error) {
+	t.Helper()
+	tab := relation.NewTable(workload.EmployeeSchema())
+	for i := 0; i < n; i++ {
+		dept := "OPS"
+		if i%stride == 0 {
+			dept = "FIN"
+		}
+		err := tab.Insert(relation.Tuple{
+			relation.String(fmt.Sprintf("E%07d", i)),
+			relation.String(dept),
+			relation.Int(int64(1000 + i)),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}
+
+// TestSharedScanDuringAppends runs cold queries through the shared pass
+// while the table is being appended to, under -race. The evaluator is
+// deterministic and tuple-local, so the match set of any snapshot prefix
+// of n tuples is exactly the full-table match set truncated below n —
+// every answer must therefore be a prefix of the full-table serial scan,
+// at least as long as the pre-storm prefix's. A torn answer (mixing two
+// snapshot prefixes) or a stale cache writeback (tagged with a version
+// whose tuples it did not scan) breaks that prefix structure.
+func TestSharedScanDuringAppends(t *testing.T) {
+	const (
+		base   = 2048
+		total  = 3072
+		stride = 16
+		batch  = 128
+	)
+	key, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := stripedEmployees(t, total, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := core.New(key, table.Schema(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := scheme.EncryptTable(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewMemory()
+	head := &ph.EncryptedTable{SchemeID: et.SchemeID, Meta: et.Meta, Tuples: et.Tuples[:base]}
+	if err := s.Put("emp", head); err != nil {
+		t.Fatal(err)
+	}
+	q, err := scheme.EncryptQuery(relation.Eq{Column: "dept", Value: relation.String("FIN")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fullMatch := serialGroundTruth(t, et, q)
+	atBase := 0
+	for _, p := range fullMatch {
+		if p < base {
+			atBase++
+		}
+	}
+	check := func(positions []int) error {
+		n := len(positions)
+		if n < atBase || n > len(fullMatch) {
+			return fmt.Errorf("%d hits, want between %d and %d", n, atBase, len(fullMatch))
+		}
+		if !reflect.DeepEqual(positions, fullMatch[:n]) {
+			return fmt.Errorf("answer is not a snapshot-prefix match set: mixes prefixes or stale writeback")
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := s.Query("emp", q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := check(res.Positions); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for lo := base; lo < total; lo += batch {
+		hi := min(lo+batch, total)
+		if err := s.Append("emp", et.Tuples[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Post-quiesce staleness probe: after all appends have landed, the
+	// cache entry written back by whichever pass ran last must reconcile
+	// (via hit or delta) to the full-table answer.
+	res, err := s.Query("emp", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Positions), len(fullMatch); got != want {
+		t.Fatalf("post-quiesce query saw %d hits, want %d: stale cache writeback", got, want)
+	}
+	full, err := s.Get("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := serialGroundTruth(t, full, q); !reflect.DeepEqual(res.Positions, want) {
+		t.Fatal("post-quiesce query diverges from serial scan of the final table")
+	}
+}
+
+// TestConjDriverRidesSharedPass checks that a cold conjunctive query's
+// driver-conjunct full scan goes through the sharer, and that the
+// answer matches the intersection of the serial per-conjunct scans.
+func TestConjDriverRidesSharedPass(t *testing.T) {
+	f := newShareFixture(t, 2000, 13)
+	s := NewMemory()
+	s.SetResultCache(nil)
+	if err := s.Put("emp", f.et); err != nil {
+		t.Fatal(err)
+	}
+	qs := []*ph.EncryptedQuery{
+		f.query(t, "dept", "IT"),
+		f.query(t, "name", "Alan001"),
+	}
+	res, _, err := s.QueryConj("emp", qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := map[int]int{}
+	for _, q := range qs {
+		for _, p := range serialGroundTruth(t, f.et, q) {
+			inter[p]++
+		}
+	}
+	var want []int
+	for p := 0; p < len(f.et.Tuples); p++ {
+		if inter[p] == len(qs) {
+			want = append(want, p)
+		}
+	}
+	if len(res.Positions) != len(want) || (want != nil && !reflect.DeepEqual(res.Positions, want)) {
+		t.Fatalf("conj positions = %v, want %v", res.Positions, want)
+	}
+	if st := s.ShareStats(); st.Riders == 0 {
+		t.Fatalf("share stats = %+v, conj driver scan bypassed the sharer", st)
+	}
+}
+
+// TestQueryVerifiedThroughSharer checks the verified-read path still
+// answers correctly when its miss goes through the shared pass.
+func TestQueryVerifiedThroughSharer(t *testing.T) {
+	f := newShareFixture(t, 1500, 17)
+	s := NewMemory()
+	s.SetResultCache(nil)
+	if err := s.Put("emp", f.et); err != nil {
+		t.Fatal(err)
+	}
+	q := f.query(t, "dept", "SALES")
+	vr, err := s.QueryVerified("emp", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialGroundTruth(t, f.et, q)
+	if !reflect.DeepEqual(vr.Result.Positions, want) {
+		t.Fatalf("verified positions diverge from serial (%d vs %d)", len(vr.Result.Positions), len(want))
+	}
+	if st := s.ShareStats(); st.Riders+st.Inline == 0 {
+		t.Fatalf("share stats = %+v, verified miss bypassed the sharer", st)
+	}
+}
+
+// TestForeignSchemeFallsBack checks a table the sharer cannot serve
+// (unknown scheme) declines cleanly and surfaces the evaluator
+// registry's error exactly as the unshared path would.
+func TestForeignSchemeFallsBack(t *testing.T) {
+	s := NewMemory()
+	s.SetResultCache(nil)
+	et := &ph.EncryptedTable{SchemeID: "no-such-scheme", Tuples: make([]ph.EncryptedTuple, 2000)}
+	if err := s.Put("x", et); err != nil {
+		t.Fatal(err)
+	}
+	q := &ph.EncryptedQuery{SchemeID: "no-such-scheme", Token: []byte{1}}
+	if _, err := s.Query("x", q); err == nil {
+		t.Fatal("query against unknown scheme succeeded")
+	}
+	if st := s.ShareStats(); st.Declined == 0 {
+		t.Fatalf("share stats = %+v, want a declined scan", st)
+	}
+}
+
+// TestSetSharerNilDisablesSharing pins the escape hatch: with the
+// sharer removed, queries still answer via the per-query scan.
+func TestSetSharerNilDisablesSharing(t *testing.T) {
+	f := newShareFixture(t, 1500, 19)
+	s := NewMemory()
+	s.SetResultCache(nil)
+	s.SetSharer(nil)
+	if err := s.Put("emp", f.et); err != nil {
+		t.Fatal(err)
+	}
+	q := f.query(t, "dept", "HR")
+	res, err := s.Query("emp", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialGroundTruth(t, f.et, q)
+	if !reflect.DeepEqual(res.Positions, want) {
+		t.Fatal("unshared query diverges from serial")
+	}
+	if st := s.ShareStats(); st != (scanshare.Stats{}) {
+		t.Fatalf("share stats = %+v after SetSharer(nil), want all zero", st)
+	}
+}

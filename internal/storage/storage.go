@@ -112,6 +112,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/ph"
 	"repro/internal/query"
+	"repro/internal/scanshare"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -207,6 +208,10 @@ type Store struct {
 	path   string
 	clock  atomic.Uint64 // monotonic version source for all tables
 	cache  *cache.Cache  // nil disables result caching
+	// share coalesces concurrent cold full-table scans (layer 14): a
+	// cache-miss query rides the table's in-flight ψ pass instead of
+	// starting its own. nil disables sharing (every query scans alone).
+	share *scanshare.Sharer
 
 	// epoch identifies the current log file's record sequence space for
 	// log shipping (see ship.go): loaded from the sidecar on open, rotated
@@ -245,7 +250,7 @@ type Store struct {
 // NewMemory creates a volatile in-memory store with result caching
 // enabled at the default size.
 func NewMemory() *Store {
-	return &Store{tables: make(map[string]*tableEntry), cache: cache.New(0)}
+	return &Store{tables: make(map[string]*tableEntry), cache: cache.New(0), share: scanshare.New(0)}
 }
 
 // Open creates a durable store backed by the write-ahead log at path
@@ -263,7 +268,7 @@ func OpenOptions(path string, opts Options) (*Store, error) {
 	default:
 		return nil, fmt.Errorf("storage: invalid sync policy %v", opts.Sync)
 	}
-	s := &Store{tables: make(map[string]*tableEntry), path: path, cache: cache.New(0)}
+	s := &Store{tables: make(map[string]*tableEntry), path: path, cache: cache.New(0), share: scanshare.New(0)}
 	recs, err := s.replay(path)
 	if err != nil {
 		return nil, err
@@ -326,17 +331,18 @@ func (s *Store) LogStats() LogStats {
 // entry looks up a table's entry under the store read lock. The returned
 // entry stays valid after the store lock is released: a concurrent Drop or
 // Put only unlinks it from the map, and readers still holding it finish
-// against the snapshot they found. The result cache pointer is read under
-// the same lock so Query sees a consistent pair.
-func (s *Store) entry(name string) (*tableEntry, *cache.Cache, error) {
+// against the snapshot they found. The result cache and scan sharer
+// pointers are read under the same lock so Query sees a consistent set.
+func (s *Store) entry(name string) (*tableEntry, *cache.Cache, *scanshare.Sharer, error) {
 	s.mu.RLock()
 	e, ok := s.tables[name]
 	c := s.cache
+	sh := s.share
 	s.mu.RUnlock()
 	if !ok {
-		return nil, nil, fmt.Errorf("storage: unknown table %q", name)
+		return nil, nil, nil, fmt.Errorf("storage: unknown table %q", name)
 	}
-	return e, c, nil
+	return e, c, sh, nil
 }
 
 // SetResultCache installs (or, with nil, disables) the query result
@@ -346,6 +352,27 @@ func (s *Store) SetResultCache(c *cache.Cache) {
 	s.mu.Lock()
 	s.cache = c
 	s.mu.Unlock()
+}
+
+// SetSharer installs (or, with nil, disables) the scan-sharing layer.
+// Intended for tests and benchmarks that need the per-query scan path;
+// stores come with a default sharer out of the box.
+func (s *Store) SetSharer(sh *scanshare.Sharer) {
+	s.mu.Lock()
+	s.share = sh
+	s.mu.Unlock()
+}
+
+// ShareStats returns the scan sharer's counters (zero if sharing is
+// disabled).
+func (s *Store) ShareStats() scanshare.Stats {
+	s.mu.RLock()
+	sh := s.share
+	s.mu.RUnlock()
+	if sh == nil {
+		return scanshare.Stats{}
+	}
+	return sh.Stats()
 }
 
 // CacheStats returns the result cache's counters (zero if caching is
@@ -637,7 +664,7 @@ func (e *tableEntry) extendTreeLocked() {
 // the snapshotted length (or reallocates), Put installs a fresh entry,
 // and nothing ever mutates Tuples[0:len] in place.
 func (s *Store) Get(name string) (*ph.EncryptedTable, error) {
-	e, _, err := s.entry(name)
+	e, _, _, err := s.entry(name)
 	if err != nil {
 		return nil, err
 	}
@@ -662,13 +689,13 @@ func (s *Store) Get(name string) (*ph.EncryptedTable, error) {
 // Miss runs the full scan. Hot and delta results are written back so the
 // next query starts warm.
 func (s *Store) Query(name string, q *ph.EncryptedQuery) (*ph.Result, error) {
-	e, c, err := s.entry(name)
+	e, c, sh, err := s.entry(name)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return queryLocked(e, c, name, q)
+	return queryLocked(e, c, sh, name, q)
 }
 
 // queryLocked is Query's body, factored out so QueryVerified can run it
@@ -676,16 +703,23 @@ func (s *Store) Query(name string, q *ph.EncryptedQuery) (*ph.Result, error) {
 // Callers hold e.mu (read suffices). Every scan it runs is fed back into
 // the entry's selectivity sketch, which is how the conjunctive planner
 // learns from ordinary single selects.
-func queryLocked(e *tableEntry, c *cache.Cache, name string, q *ph.EncryptedQuery) (*ph.Result, error) {
-	if c == nil {
-		res, err := ph.Apply(e.t, q)
-		if err != nil {
-			return nil, err
-		}
-		e.observeScan(q, len(res.Positions), len(e.t.Tuples))
-		return res, nil
+//
+// A cache miss is a full-table scan, and full-table scans are where
+// concurrent cold queries duplicate work — so the miss path goes through
+// the scan-sharing layer (when installed): the query rides the table's
+// in-flight ψ pass, or starts one for later arrivals to ride. The
+// writeback happens here, under THIS query's read lock, with the tuple
+// count and version of the snapshot the rider was admitted against —
+// every rider of a pass holds its table read lock across the whole wait,
+// so appends (which need the write lock) cannot move the version under a
+// rider, and no writeback can be stale. Delta tail scans stay per-query:
+// tails are short and sharing them would serialise on pass admission.
+func queryLocked(e *tableEntry, c *cache.Cache, sh *scanshare.Sharer, name string, q *ph.EncryptedQuery) (*ph.Result, error) {
+	n := len(e.t.Tuples)
+	ent, outcome := cache.Entry{}, cache.Miss
+	if c != nil {
+		ent, outcome = c.Lookup(name, q, e.base, n)
 	}
-	ent, outcome := c.Lookup(name, q, e.base, len(e.t.Tuples))
 	switch outcome {
 	case cache.Hit:
 		return ph.SelectPositions(e.t, ent.Positions), nil
@@ -700,17 +734,39 @@ func queryLocked(e *tableEntry, c *cache.Cache, name string, q *ph.EncryptedQuer
 		for _, p := range res.Positions {
 			positions = append(positions, p+ent.Scanned)
 		}
-		c.Store(name, q, cache.Entry{Positions: positions, Scanned: len(e.t.Tuples), Version: e.version})
+		c.Store(name, q, cache.Entry{Positions: positions, Scanned: n, Version: e.version})
 		return ph.SelectPositions(e.t, positions), nil
 	default:
+		if sh != nil {
+			positions, ok, err := sh.Scan(e, e.shareSnapshot(), q)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				e.observeScan(q, len(positions), n)
+				if c != nil {
+					c.Store(name, q, cache.Entry{Positions: positions, Scanned: n, Version: e.version})
+				}
+				return ph.SelectPositions(e.t, positions), nil
+			}
+		}
 		res, err := ph.Apply(e.t, q)
 		if err != nil {
 			return nil, err
 		}
-		e.observeScan(q, len(res.Positions), len(e.t.Tuples))
-		c.Store(name, q, cache.Entry{Positions: res.Positions, Scanned: len(e.t.Tuples), Version: e.version})
+		e.observeScan(q, len(res.Positions), n)
+		if c != nil {
+			c.Store(name, q, cache.Entry{Positions: res.Positions, Scanned: n, Version: e.version})
+		}
 		return res, nil
 	}
+}
+
+// shareSnapshot cuts the entry's immutable scan view for the sharing
+// layer. Callers hold e.mu (read suffices); the slice header stays valid
+// after release because stored tuples are immutable once appended.
+func (e *tableEntry) shareSnapshot() scanshare.Snapshot {
+	return scanshare.Snapshot{SchemeID: e.t.SchemeID, Meta: e.t.Meta, Tuples: e.t.Tuples}
 }
 
 // observeScan feeds one scan's outcome into the entry's selectivity
@@ -764,10 +820,17 @@ func (e *tableEntry) planConj(c *cache.Cache, name string, qs []*ph.EncryptedQue
 // conjunct is a cache hit even inside a new combination), and every
 // evaluation feeds the selectivity sketch (narrowed passes record the
 // conditional selectivity the planner's ordering actually wants).
-func conjLocked(e *tableEntry, c *cache.Cache, name string, qs []*ph.EncryptedQuery) ([]int, *query.Plan, error) {
+func conjLocked(e *tableEntry, c *cache.Cache, sh *scanshare.Sharer, name string, qs []*ph.EncryptedQuery) ([]int, *query.Plan, error) {
 	plan, err := e.planConj(c, name, qs)
 	if err != nil {
 		return nil, nil, err
+	}
+	if sh != nil {
+		// The driver conjunct's uncached full scan rides the table's
+		// shared pass, exactly like a single cold Query.
+		plan.FullScan = func(q *ph.EncryptedQuery) ([]int, bool, error) {
+			return sh.Scan(e, e.shareSnapshot(), q)
+		}
 	}
 	positions, err := plan.Run(e.t)
 	if err != nil {
@@ -797,13 +860,13 @@ func conjLocked(e *tableEntry, c *cache.Cache, name string, qs []*ph.EncryptedQu
 // server-side reveals nothing beyond the per-conjunct access pattern a
 // batched query already shows the server.
 func (s *Store) QueryConj(name string, qs []*ph.EncryptedQuery) (*ph.Result, *query.PlanInfo, error) {
-	e, c, err := s.entry(name)
+	e, c, sh, err := s.entry(name)
 	if err != nil {
 		return nil, nil, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	positions, plan, err := conjLocked(e, c, name, qs)
+	positions, plan, err := conjLocked(e, c, sh, name, qs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -816,13 +879,13 @@ func (s *Store) QueryConj(name string, qs []*ph.EncryptedQuery) (*ph.Result, *qu
 // and version cut from the same read-locked snapshot that planned and
 // executed the conjunction.
 func (s *Store) QueryConjVerified(name string, qs []*ph.EncryptedQuery) (*authindex.VerifiedResult, *query.PlanInfo, error) {
-	e, c, err := s.entry(name)
+	e, c, sh, err := s.entry(name)
 	if err != nil {
 		return nil, nil, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	positions, plan, err := conjLocked(e, c, name, qs)
+	positions, plan, err := conjLocked(e, c, sh, name, qs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -846,7 +909,7 @@ func (s *Store) QueryConjVerified(name string, qs []*ph.EncryptedQuery) (*authin
 // execution would (which counts in its statistics), but no tuple is
 // scanned.
 func (s *Store) ExplainConj(name string, qs []*ph.EncryptedQuery) (*query.PlanInfo, error) {
-	e, c, err := s.entry(name)
+	e, c, _, err := s.entry(name)
 	if err != nil {
 		return nil, err
 	}
@@ -866,7 +929,7 @@ func (s *Store) ExplainConj(name string, qs []*ph.EncryptedQuery) (*query.PlanIn
 // hashing on a quiescent table and O(tail) after appends — never the
 // seed's deep-copy-and-rebuild.
 func (s *Store) Root(name string) (root []byte, tuples int, version uint64, err error) {
-	e, _, err := s.entry(name)
+	e, _, _, err := s.entry(name)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -882,7 +945,7 @@ func (s *Store) Root(name string) (root []byte, tuples int, version uint64, err 
 // — these proofs verify against the root returned here, not necessarily
 // against one fetched earlier; QueryVerified is the race-free path.
 func (s *Store) Prove(name string, positions []int) (proofs []authindex.Proof, root []byte, tuples int, version uint64, err error) {
-	e, _, err := s.entry(name)
+	e, _, _, err := s.entry(name)
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}
@@ -905,13 +968,13 @@ func (s *Store) Prove(name string, positions []int) (proofs []authindex.Proof, r
 // a verified hot-word query costs the cache hit plus O(matches · log n)
 // proof hashes.
 func (s *Store) QueryVerified(name string, q *ph.EncryptedQuery) (*authindex.VerifiedResult, error) {
-	e, c, err := s.entry(name)
+	e, c, sh, err := s.entry(name)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	res, err := queryLocked(e, c, name, q)
+	res, err := queryLocked(e, c, sh, name, q)
 	if err != nil {
 		return nil, err
 	}
